@@ -1,0 +1,164 @@
+/// \file bench_e1_architectures.cpp
+/// E1 — Architecture comparison (paper Figs 1–5 vs Figs 6/7/9).
+///
+/// Runs the SAME failure-free atomic-broadcast workload over:
+///   - isis-like      traditional GM+VS below a fixed sequencer (Figs 1/2)
+///   - totem-like     traditional GM+VS below a rotating token   (Figs 3/4)
+///   - new AB-GB      atomic broadcast on ◇S consensus, membership on top
+///                    (Figs 6/7/9)
+/// and reports per-architecture delivery latency and message cost. The
+/// paper makes no absolute performance claim here; the point of the table
+/// is that the new architecture provides the same total-order service with
+/// ONE ordering mechanism and no membership below it (cf. E6).
+#include <memory>
+
+#include "bench/bench_util.hpp"
+#include "traditional/gmvs_stack.hpp"
+
+namespace gcs::bench {
+namespace {
+
+constexpr int kProcs = 4;
+constexpr int kMessages = 200;
+constexpr Duration kGap = msec(2);  // inter-send gap per sender
+
+struct RunStats {
+  Histogram latency;
+  std::int64_t net_messages = 0;
+  std::int64_t net_bytes = 0;
+  std::int64_t consensus_instances = 0;
+  Duration elapsed = 0;
+};
+
+/// Workload: kMessages messages round-robin across senders, one every kGap.
+template <typename Broadcast>
+RunStats run_workload(sim::Engine& engine, sim::Network& network, Broadcast&& send,
+                      const std::function<std::size_t()>& delivered_at_p0,
+                      const std::function<std::int64_t()>& consensus_count) {
+  RunStats stats;
+  const TimePoint start = engine.now();
+  std::vector<TimePoint> sent_at;
+  int sent = 0;
+  // Interleaved send loop driven by the engine itself.
+  std::function<void()> tick = [&] {
+    if (sent >= kMessages) return;
+    sent_at.push_back(engine.now());
+    send(sent % kProcs, payload_of(sent));
+    ++sent;
+    engine.schedule_after(kGap, tick);
+  };
+  engine.schedule_after(0, tick);
+  const auto base_msgs = network.metrics().counter("net.sent");
+  const auto base_bytes = network.metrics().counter("net.bytes_sent");
+  drive(engine, sec(120), [&] { return delivered_at_p0() >= kMessages; });
+  stats.elapsed = engine.now() - start;
+  // Subtract the FD heartbeat background (kProcs*(kProcs-1) datagrams per
+  // 10ms across the run) so the message column reflects protocol cost.
+  const double heartbeats = static_cast<double>(kProcs) * (kProcs - 1) *
+                            (static_cast<double>(stats.elapsed) / static_cast<double>(msec(10)));
+  stats.net_messages = network.metrics().counter("net.sent") - base_msgs -
+                       static_cast<std::int64_t>(heartbeats);
+  if (stats.net_messages < 0) stats.net_messages = 0;
+  stats.net_bytes = network.metrics().counter("net.bytes_sent") - base_bytes;
+  stats.consensus_instances = consensus_count();
+  (void)sent_at;
+  return stats;
+}
+
+RunStats run_new_arch() {
+  World::Config config;
+  config.n = kProcs;
+  config.seed = 11;
+  World world(config);
+  Histogram latency;
+  std::map<MsgId, TimePoint> sent_time;
+  std::size_t delivered = 0;
+  world.stack(0).on_adeliver([&](const MsgId& id, const Bytes&) {
+    ++delivered;
+    auto it = sent_time.find(id);
+    if (it != sent_time.end()) latency.add(world.engine().now() - it->second);
+  });
+  world.found_group_all();
+  auto stats = run_workload(
+      world.engine(), world.network(),
+      [&](int p, Bytes payload) {
+        const MsgId id = world.stack(static_cast<ProcessId>(p)).abcast(std::move(payload));
+        sent_time[id] = world.engine().now();
+      },
+      [&] { return delivered; },
+      [&] { return world.stack(0).consensus().instances_decided(); });
+  stats.latency = latency;
+  return stats;
+}
+
+RunStats run_traditional(traditional::GmVsStack::Ordering ordering) {
+  sim::Engine engine;
+  sim::Network network(engine, kProcs, sim::LinkModel{}, 11);
+  traditional::GmVsStack::Config cfg;
+  cfg.ordering = ordering;
+  std::vector<std::unique_ptr<traditional::GmVsStack>> stacks;
+  Histogram latency;
+  std::map<MsgId, TimePoint> sent_time;
+  std::size_t delivered = 0;
+  for (ProcessId p = 0; p < kProcs; ++p) {
+    stacks.push_back(std::make_unique<traditional::GmVsStack>(engine, network, p, 11, cfg));
+  }
+  stacks[0]->on_adeliver([&](const MsgId& id, const Bytes&) {
+    ++delivered;
+    auto it = sent_time.find(id);
+    if (it != sent_time.end()) latency.add(engine.now() - it->second);
+  });
+  std::vector<ProcessId> all;
+  for (ProcessId p = 0; p < kProcs; ++p) all.push_back(p);
+  for (auto& s : stacks) {
+    s->init_view(all);
+    s->start();
+  }
+  auto stats = run_workload(
+      engine, network,
+      [&](int p, Bytes payload) {
+        const MsgId id = stacks[static_cast<std::size_t>(p)]->abcast(std::move(payload));
+        sent_time[id] = engine.now();
+      },
+      [&] { return delivered; },
+      [&] { return stacks[0]->metrics().counter("consensus.decided"); });
+  stats.latency = latency;
+  return stats;
+}
+
+}  // namespace
+}  // namespace gcs::bench
+
+int main() {
+  using namespace gcs;
+  using namespace gcs::bench;
+  banner("E1: architecture comparison (paper Figs 1-5 vs Figs 6/7/9)",
+         "identical failure-free workload: " + std::to_string(kMessages) +
+             " abcasts over 4 processes, one per 2ms per sender; virtual-time metrics");
+
+  struct Row {
+    std::string name;
+    RunStats stats;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"isis-like (GM+VS+sequencer)", run_traditional(gcs::traditional::GmVsStack::Ordering::kSequencer)});
+  rows.push_back({"totem-like (GM+VS+token)", run_traditional(gcs::traditional::GmVsStack::Ordering::kToken)});
+  rows.push_back({"new AB-GB (consensus-based)", run_new_arch()});
+
+  Table table({"architecture", "lat p50 (ms)", "lat p99 (ms)", "lat mean (ms)",
+               "net msgs/abcast", "net KB/abcast", "consensus inst."});
+  for (auto& [name, s] : rows) {
+    table.add_row({name, fmt_ms(s.latency.percentile(50)), fmt_ms(s.latency.percentile(99)),
+                   fmt_ms(s.latency.mean()),
+                   fmt_double(static_cast<double>(s.net_messages) / kMessages, 1),
+                   fmt_double(static_cast<double>(s.net_bytes) / 1024.0 / kMessages, 2),
+                   fmt_int(s.consensus_instances)});
+  }
+  table.print();
+  std::printf(
+      "\nReading: all three deliver the same total order in a failure-free run.\n"
+      "The sequencer is the latency floor (2 hops); the consensus-based new\n"
+      "architecture pays more messages for NOT needing membership below it —\n"
+      "the benefit shows under failures (E4) and view changes (E5).\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+/// \file bench_e2_fig8_passive.cpp
+/// E2 — Figure 8: passive replication over generic broadcast.
+///
+/// Races an `update` (non-conflicting class) against a `primary-change`
+/// (conflicting class) with a sweep of head starts for the change, over
+/// many seeds. Reports the outcome distribution and verifies that ONLY the
+/// two outcomes of the paper ever occur and that replicas always agree.
+#include <memory>
+
+#include "bench/bench_util.hpp"
+#include "replication/passive.hpp"
+#include "replication/state_machine.hpp"
+
+namespace gcs::bench {
+namespace {
+
+using replication::BankAccount;
+using replication::PassiveReplication;
+
+struct Outcome {
+  bool committed = false;   // Fig 8 outcome 1
+  bool preempted = false;   // Fig 8 outcome 2
+  bool diverged = false;    // would be a bug: replicas disagree
+};
+
+Outcome race(Duration change_lead, std::uint64_t seed) {
+  World::Config config;
+  config.n = 4;
+  config.seed = seed;
+  config.stack.conflict = ConflictRelation::update_primary_change();
+  World world(config);
+  world.found_group_all();
+  PassiveReplication::Config pcfg;
+  pcfg.auto_primary_change = false;
+  std::vector<std::unique_ptr<PassiveReplication>> replicas;
+  for (ProcessId p = 0; p < 4; ++p) {
+    replicas.push_back(std::make_unique<PassiveReplication>(
+        world.stack(p), std::make_unique<BankAccount>(), pcfg));
+  }
+  Outcome out;
+  bool done = false;
+  auto fire_update = [&] {
+    replicas[0]->handle_request(BankAccount::make_deposit(100),
+                                [&](bool ok, const Bytes&) {
+                                  out.committed = ok;
+                                  out.preempted = !ok;
+                                  done = true;
+                                });
+  };
+  auto fire_change = [&] { replicas[1]->request_primary_change(); };
+  if (change_lead >= 0) {
+    world.engine().schedule_after(0, fire_change);
+    world.engine().schedule_after(change_lead, fire_update);
+  } else {
+    world.engine().schedule_after(0, fire_update);
+    world.engine().schedule_after(-change_lead, fire_change);
+  }
+  drive(world.engine(), sec(30), [&] {
+    if (!done) return false;
+    for (auto& r : replicas) {
+      if (r->primary_changes() < 1) return false;
+    }
+    return true;
+  });
+  world.run_for(msec(300));
+  const auto b0 = static_cast<BankAccount&>(replicas[0]->state()).balance();
+  for (ProcessId p = 1; p < 4; ++p) {
+    if (static_cast<BankAccount&>(replicas[static_cast<std::size_t>(p)]->state()).balance() !=
+        b0) {
+      out.diverged = true;
+    }
+  }
+  // Consistency between client outcome and replica state.
+  if (out.committed && b0 != 100) out.diverged = true;
+  if (out.preempted && b0 != 0) out.diverged = true;
+  return out;
+}
+
+}  // namespace
+}  // namespace gcs::bench
+
+int main() {
+  using namespace gcs;
+  using namespace gcs::bench;
+  banner("E2: Fig 8 - passive replication, update vs primary-change race",
+         "update (class: update) from primary p0 races primary-change (class:\n"
+         "primary-change) from backup p1; 50 seeds per head-start setting");
+
+  Table table({"change head start", "outcome 1 (committed)", "outcome 2 (ignored)",
+               "other/diverged"});
+  const Duration leads[] = {-msec(5), -msec(1), 0, msec(1), msec(5)};
+  const int kSeeds = 50;
+  int total_diverged = 0;
+  for (Duration lead : leads) {
+    int committed = 0, preempted = 0, diverged = 0;
+    for (int s = 0; s < kSeeds; ++s) {
+      const auto out = race(lead, 100 + static_cast<std::uint64_t>(s));
+      if (out.diverged) ++diverged;
+      else if (out.committed) ++committed;
+      else if (out.preempted) ++preempted;
+    }
+    total_diverged += diverged;
+    const std::string label = (lead < 0 ? "update +" + std::to_string(-lead / 1000) + "ms"
+                                        : (lead == 0 ? "simultaneous"
+                                                     : "change +" + std::to_string(lead / 1000) +
+                                                           "ms"));
+    table.add_row({label, fmt_int(committed) + "/" + std::to_string(kSeeds),
+                   fmt_int(preempted) + "/" + std::to_string(kSeeds), fmt_int(diverged)});
+  }
+  table.print();
+  std::printf("\nReading: the conflict relation of §3.2.3 admits exactly the paper's\n"
+              "two outcomes; the head start shifts the distribution but never\n"
+              "produces divergence. diverged column must be 0. (%s)\n",
+              total_diverged == 0 ? "OK" : "VIOLATION!");
+  return total_diverged == 0 ? 0 : 1;
+}

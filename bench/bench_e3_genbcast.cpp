@@ -1,0 +1,139 @@
+/// \file bench_e3_genbcast.cpp
+/// E3 — §4.2: generic broadcast vs atomic broadcast as the conflict
+/// fraction varies (the replicated bank account argument).
+///
+/// Workload: 200 commands over 4 replicas; a fraction are withdrawals
+/// (conflicting class), the rest deposits (commutative class). Baseline:
+/// the same workload with EVERY command atomically broadcast — what a
+/// traditional stack without generic broadcast forces. Expected shape: at
+/// 0% conflicts generic broadcast never invokes consensus and wins by the
+/// biggest factor; at 100% it converges to the abcast cost.
+#include <memory>
+
+#include "bench/bench_util.hpp"
+#include "replication/active.hpp"
+#include "replication/state_machine.hpp"
+
+namespace gcs::bench {
+namespace {
+
+using replication::ActiveReplication;
+using replication::BankAccount;
+using replication::GenericActiveReplication;
+
+constexpr int kCommands = 200;
+constexpr int kProcs = 4;
+constexpr Duration kGap = msec(1);
+
+struct RunStats {
+  Histogram latency;
+  std::int64_t consensus = 0;
+  std::uint64_t fast = 0;
+  Duration elapsed = 0;
+  std::int64_t balance = 0;
+};
+
+/// pattern[i] == true -> conflicting command (withdrawal)
+std::vector<bool> make_pattern(double conflict_fraction, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<bool> pattern(kCommands);
+  for (int i = 0; i < kCommands; ++i) pattern[static_cast<std::size_t>(i)] = rng.chance(conflict_fraction);
+  return pattern;
+}
+
+RunStats run(bool use_generic, const std::vector<bool>& pattern) {
+  World::Config config;
+  config.n = kProcs;
+  config.seed = 5;
+  config.stack.conflict = ConflictRelation::rbcast_abcast();
+  World world(config);
+  std::vector<std::unique_ptr<GenericActiveReplication>> replicas;
+  for (ProcessId p = 0; p < kProcs; ++p) {
+    replicas.push_back(std::make_unique<GenericActiveReplication>(
+        world.stack(p), std::make_unique<BankAccount>()));
+  }
+  world.found_group_all();
+
+  RunStats stats;
+  // Pre-fund the account so no withdrawal can ever fail: the final balance
+  // is then schedule-independent and comparable across runs.
+  bool funded = false;
+  replicas[0]->submit(kAbcastClass, BankAccount::make_deposit(1'000'000),
+                      [&](const Bytes&) { funded = true; });
+  drive(world.engine(), sec(30), [&] { return funded; });
+
+  int completed = 0, sent = 0;
+  const TimePoint start = world.engine().now();
+  std::function<void()> tick = [&] {
+    if (sent >= kCommands) return;
+    const bool conflicting = pattern[static_cast<std::size_t>(sent)];
+    const MsgClass cls = use_generic ? (conflicting ? kAbcastClass : kRbcastClass)
+                                     : kAbcastClass;
+    const Bytes cmd = conflicting ? BankAccount::make_withdraw(1)
+                                  : BankAccount::make_deposit(2);
+    const TimePoint at = world.engine().now();
+    replicas[static_cast<std::size_t>(sent % kProcs)]->submit(
+        cls, cmd, [&stats, &completed, at, &world](const Bytes&) {
+          stats.latency.add(world.engine().now() - at);
+          ++completed;
+        });
+    ++sent;
+    world.engine().schedule_after(kGap, tick);
+  };
+  world.engine().schedule_after(0, tick);
+  drive(world.engine(), sec(300), [&] { return completed >= kCommands; });
+  stats.elapsed = world.engine().now() - start;
+  // Let stragglers settle, then check replica agreement within this run.
+  world.run_for(sec(1));
+  stats.consensus = world.stack(0).consensus().instances_decided();
+  stats.fast = world.stack(0).generic_broadcast().fast_deliveries();
+  stats.balance = static_cast<BankAccount&>(replicas[0]->state()).balance();
+  for (ProcessId p = 1; p < kProcs; ++p) {
+    const auto b =
+        static_cast<BankAccount&>(replicas[static_cast<std::size_t>(p)]->state()).balance();
+    if (b != stats.balance) {
+      std::printf("!! replica divergence within run (p0=%lld p%d=%lld)\n",
+                  static_cast<long long>(stats.balance), p, static_cast<long long>(b));
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+}  // namespace gcs::bench
+
+int main() {
+  using namespace gcs;
+  using namespace gcs::bench;
+  banner("E3: generic broadcast vs atomic broadcast (paper §4.2)",
+         "200 bank commands over 4 replicas; conflict fraction = share of\n"
+         "withdrawals; baseline = same workload with abcast for everything");
+
+  Table table({"conflicts", "gbcast lat (ms)", "abcast lat (ms)", "speedup",
+               "gbcast consensus", "abcast consensus", "fast-path"});
+  const double fractions[] = {0.0, 0.1, 0.25, 0.5, 0.75, 1.0};
+  double best_speedup = 0, worst_speedup = 1e9;
+  for (double f : fractions) {
+    const auto pattern = make_pattern(f, 42);
+    const RunStats gb = run(/*use_generic=*/true, pattern);
+    const RunStats ab = run(/*use_generic=*/false, pattern);
+    const double speedup = ab.latency.mean() / std::max(1.0, gb.latency.mean());
+    best_speedup = std::max(best_speedup, speedup);
+    worst_speedup = std::min(worst_speedup, speedup);
+    table.add_row({fmt_pct(f), fmt_ms(gb.latency.mean()), fmt_ms(ab.latency.mean()),
+                   fmt_double(speedup, 2) + "x", fmt_int(gb.consensus), fmt_int(ab.consensus),
+                   fmt_pct(static_cast<double>(gb.fast) / kCommands)});
+    if (gb.balance != ab.balance) {
+      std::printf("!! state divergence at f=%.2f (gb=%lld ab=%lld)\n", f,
+                  static_cast<long long>(gb.balance), static_cast<long long>(ab.balance));
+      return 1;
+    }
+  }
+  table.print();
+  std::printf(
+      "\nReading: identical final state in every row. Generic broadcast wins\n"
+      "%.1fx at 0%% conflicts (no consensus at all) and converges towards the\n"
+      "abcast cost as everything conflicts (%.1fx) — the §4.2 claim.\n",
+      best_speedup, worst_speedup);
+  return 0;
+}

@@ -1,0 +1,217 @@
+/// \file bench_e4_responsiveness.cpp
+/// E4 — §4.3: responsiveness in case of failures.
+///
+/// The paper's argument:
+///   - post-crash latency is dominated by the failure-detection timeout, so
+///     you want small timeouts;
+///   - small timeouts cause false suspicions; in the TRADITIONAL stack a
+///     false suspicion EXCLUDES a healthy member (kill + rejoin + state
+///     transfer), so traditional systems are forced to large timeouts;
+///   - in the NEW architecture suspicion and exclusion are decoupled: a
+///     false suspicion costs one consensus round, so timeouts can be small
+///     and post-crash responsiveness high.
+///
+/// Two sweeps over the suspicion timeout, identical workloads:
+///   (a) crash the coordinator/sequencer: worst delivery stall afterwards;
+///   (b) inject a single false suspicion: worst delivery stall it causes,
+///       plus whether a healthy member got excluded.
+#include <memory>
+
+#include "bench/bench_util.hpp"
+#include "traditional/gmvs_stack.hpp"
+
+namespace gcs::bench {
+namespace {
+
+constexpr int kProcs = 4;
+constexpr Duration kSendGap = msec(2);
+
+struct Disruption {
+  Duration worst_latency = 0;   // max send->deliver latency in the window
+  int exclusions = 0;           // healthy members excluded (traditional pathology)
+  bool recovered = true;        // deliveries resumed at all
+  Duration victim_outage = 0;   // time the falsely suspected member spent outside the view
+};
+
+/// Generic driver: runs steady traffic from process 1, applies `fault` at
+/// t=300ms, observes until t=+4s. Reports the worst latency of messages
+/// sent in the fault window.
+template <typename SendFn>
+Disruption measure(sim::Engine& engine, SendFn&& send,
+                   const std::function<void()>& fault,
+                   const std::function<std::size_t()>& delivered_count,
+                   const std::function<int()>& exclusion_count) {
+  std::map<int, TimePoint> sent_at;
+  std::map<int, TimePoint> delivered_at;
+  int sent = 0;
+  const TimePoint fault_time = engine.now() + msec(300);
+  std::function<void()> tick = [&] {
+    if (engine.now() > fault_time + sec(4)) return;
+    sent_at[sent] = engine.now();
+    send(sent);
+    ++sent;
+    engine.schedule_after(kSendGap, tick);
+  };
+  engine.schedule_after(0, tick);
+  engine.schedule_at(fault_time, fault);
+  const auto horizon = fault_time + sec(5);
+  while (engine.now() < horizon && engine.step()) {
+  }
+  (void)delivered_count;
+  Disruption d;
+  d.exclusions = exclusion_count();
+  return d;
+}
+
+// --- new architecture ------------------------------------------------------
+
+Disruption run_new(Duration suspect_timeout, bool false_suspicion, std::uint64_t seed) {
+  World::Config config;
+  config.n = kProcs;
+  config.seed = seed;
+  config.stack.consensus_suspect_timeout = suspect_timeout;
+  config.stack.monitoring.exclusion_timeout = sec(3);  // monitoring stays slow
+  World world(config);
+  std::map<MsgId, TimePoint> sent_at;
+  Duration worst = 0;
+  TimePoint fault_time = 0;
+  std::size_t delivered = 0;
+  world.stack(1).on_adeliver([&](const MsgId& id, const Bytes&) {
+    ++delivered;
+    auto it = sent_at.find(id);
+    if (it == sent_at.end()) return;
+    if (it->second >= fault_time - msec(50)) {
+      worst = std::max(worst, world.engine().now() - it->second);
+    }
+  });
+  world.found_group_all();
+  int healthy_exclusions = 0;
+  world.stack(1).on_view([&](const View& v) {
+    if (!false_suspicion) return;
+    if (!v.contains(0)) ++healthy_exclusions;  // p0 is healthy in this mode!
+  });
+  auto d = measure(
+      world.engine(),
+      [&](int i) { sent_at[world.stack(1).abcast(payload_of(i))] = world.engine().now(); },
+      [&] {
+        fault_time = world.engine().now();
+        if (false_suspicion) {
+          world.stack(1).fd().inject_suspicion(world.stack(1).consensus_fd_class(), 0);
+          world.stack(2).fd().inject_suspicion(world.stack(2).consensus_fd_class(), 0);
+        } else {
+          world.crash(0);
+        }
+      },
+      [&] { return delivered; }, [&] { return healthy_exclusions; });
+  fault_time = fault_time == 0 ? world.engine().now() : fault_time;
+  d.worst_latency = worst;
+  d.recovered = delivered > 0;
+  return d;
+}
+
+// --- traditional architecture ----------------------------------------------
+
+Disruption run_traditional(Duration suspect_timeout, bool false_suspicion,
+                           std::uint64_t seed) {
+  sim::Engine engine;
+  sim::Network network(engine, kProcs, sim::LinkModel{}, seed);
+  traditional::GmVsStack::Config cfg;
+  cfg.suspect_timeout = suspect_timeout;
+  cfg.rejoin_state_transfer_delay = msec(100);
+  std::vector<std::unique_ptr<traditional::GmVsStack>> stacks;
+  for (ProcessId p = 0; p < kProcs; ++p) {
+    stacks.push_back(
+        std::make_unique<traditional::GmVsStack>(engine, network, p, seed, cfg));
+  }
+  std::map<MsgId, TimePoint> sent_at;
+  Duration worst = 0;
+  TimePoint fault_time = 0;
+  std::size_t delivered = 0;
+  TimePoint excluded_at = -1;
+  Duration outage = 0;
+  stacks[0]->on_view([&](const View& v) {
+    if (!v.contains(0) && excluded_at < 0) {
+      excluded_at = engine.now();
+    } else if (v.contains(0) && excluded_at >= 0) {
+      outage += engine.now() - excluded_at;
+      excluded_at = -1;
+    }
+  });
+  stacks[1]->on_adeliver([&](const MsgId& id, const Bytes&) {
+    ++delivered;
+    auto it = sent_at.find(id);
+    if (it == sent_at.end()) return;
+    if (it->second >= fault_time - msec(50)) {
+      worst = std::max(worst, engine.now() - it->second);
+    }
+  });
+  std::vector<ProcessId> all;
+  for (ProcessId p = 0; p < kProcs; ++p) all.push_back(p);
+  for (auto& s : stacks) {
+    s->init_view(all);
+    s->start();
+  }
+  auto d = measure(
+      engine,
+      [&](int i) { sent_at[stacks[1]->abcast(payload_of(i))] = engine.now(); },
+      [&] {
+        fault_time = engine.now();
+        if (false_suspicion) {
+          // One healthy member briefly looks dead to p1 — e.g. a GC pause
+          // or a lost heartbeat burst.
+          stacks[1]->fd().inject_suspicion(stacks[1]->fd_class(), 0);
+        } else {
+          stacks[0]->crash();
+        }
+      },
+      [&] { return delivered; },
+      [&] { return static_cast<int>(stacks[0]->exclusions_suffered()); });
+  d.worst_latency = worst;
+  d.recovered = delivered > 0;
+  if (excluded_at >= 0) outage += engine.now() - excluded_at;  // never rejoined
+  d.victim_outage = outage;
+  return d;
+}
+
+}  // namespace
+}  // namespace gcs::bench
+
+int main() {
+  using namespace gcs;
+  using namespace gcs::bench;
+  banner("E4: responsiveness under failures (paper §4.3)",
+         "steady abcast traffic; fault injected at t=300ms; 'stall' = worst\n"
+         "send->deliver latency caused by the fault (virtual ms)");
+
+  const Duration timeouts[] = {msec(25), msec(50), msec(100), msec(200), msec(400), msec(800)};
+
+  std::printf("(a) the coordinator/sequencer CRASHES:\n\n");
+  Table crash_table({"suspect timeout", "new arch stall (ms)", "traditional stall (ms)"});
+  for (Duration t : timeouts) {
+    const auto n = run_new(t, /*false_suspicion=*/false, 3);
+    const auto tr = run_traditional(t, /*false_suspicion=*/false, 3);
+    crash_table.add_row({fmt_ms(t), fmt_ms(n.worst_latency), fmt_ms(tr.worst_latency)});
+  }
+  crash_table.print();
+
+  std::printf("\n(b) a healthy member is FALSELY suspected once:\n\n");
+  Table false_table({"suspect timeout", "new: stall (ms)", "new: excluded?",
+                     "trad: stall (ms)", "trad: excluded?", "trad: victim outage (ms)"});
+  for (Duration t : timeouts) {
+    const auto n = run_new(t, /*false_suspicion=*/true, 3);
+    const auto tr = run_traditional(t, /*false_suspicion=*/true, 3);
+    false_table.add_row({fmt_ms(t), fmt_ms(n.worst_latency),
+                         n.exclusions ? "YES" : "no", fmt_ms(tr.worst_latency),
+                         tr.exclusions ? "YES (kill+rejoin)" : "no",
+                         fmt_ms(tr.victim_outage)});
+  }
+  false_table.print();
+
+  std::printf(
+      "\nReading: (a) both stalls shrink with the timeout — small timeouts are\n"
+      "what you want for responsiveness. (b) is why the traditional stack\n"
+      "cannot have them: ANY false suspicion kills a healthy member (view\n"
+      "change + state transfer), while the new architecture shrugs it off\n"
+      "with one extra consensus round and never excludes anyone (§3.1.3).\n");
+  return 0;
+}

@@ -1,0 +1,134 @@
+/// \file bench_e6_complexity.cpp
+/// E6 — §4.1: where is the ordering problem solved, and how often?
+///
+/// The paper's structural claim: traditional architectures solve ordering
+/// in THREE places (the abcast protocol for messages, the membership for
+/// views, the VS flush for messages-vs-views), while the new architecture
+/// solves it ONCE (the consensus sequence under atomic broadcast; views and
+/// generic-broadcast resolutions are just messages inside that order).
+///
+/// We run an identical churn workload (traffic + a join + a crash) on each
+/// stack and count the invocations of every ordering mechanism.
+#include <memory>
+
+#include "bench/bench_util.hpp"
+#include "traditional/gmvs_stack.hpp"
+
+namespace gcs::bench {
+namespace {
+
+constexpr int kProcs = 5;  // 4 members + 1 joiner
+constexpr int kMessages = 100;
+
+struct Counts {
+  std::int64_t orderer_assignments = 0;  // sequencer/token seq assignments
+  std::int64_t flush_rounds = 0;         // VS flushes (trad only)
+  std::int64_t consensus_instances = 0;  // consensus decisions
+  std::int64_t view_changes = 0;
+  int mechanisms = 0;                    // distinct ordering mechanisms used
+};
+
+Counts run_traditional(traditional::GmVsStack::Ordering ordering) {
+  sim::Engine engine;
+  sim::Network network(engine, kProcs, sim::LinkModel{}, 23);
+  traditional::GmVsStack::Config cfg;
+  cfg.ordering = ordering;
+  cfg.suspect_timeout = msec(300);
+  std::vector<std::unique_ptr<traditional::GmVsStack>> stacks;
+  for (ProcessId p = 0; p < kProcs; ++p) {
+    stacks.push_back(std::make_unique<traditional::GmVsStack>(engine, network, p, 23, cfg));
+  }
+  for (ProcessId p = 0; p < 4; ++p) {
+    stacks[static_cast<std::size_t>(p)]->init_view({0, 1, 2, 3});
+    stacks[static_cast<std::size_t>(p)]->start();
+  }
+  int sent = 0;
+  std::function<void()> tick = [&] {
+    if (sent >= kMessages) return;
+    stacks[static_cast<std::size_t>(1 + sent % 3)]->abcast(payload_of(sent));
+    ++sent;
+    engine.schedule_after(msec(2), tick);
+  };
+  engine.schedule_after(0, tick);
+  engine.schedule_at(msec(60), [&] {
+    stacks[4]->request_join(1);
+    stacks[4]->start();
+  });
+  engine.schedule_at(msec(120), [&] { stacks[3]->crash(); });
+  engine.run_until(sec(5));
+  Counts c;
+  // Sequence numbers are assigned wherever the sequencer/token happens to
+  // be: sum over all processes. Flushes and consensus instances are
+  // group-wide events: count them at one survivor.
+  for (auto& s : stacks) {
+    c.orderer_assignments +=
+        s->metrics().counter("seq.assigned") + s->metrics().counter("token.assigned");
+  }
+  auto& m1 = stacks[1]->metrics();
+  c.flush_rounds = m1.counter("gmvs.flushes_started");
+  c.consensus_instances = m1.counter("consensus.decided");
+  c.view_changes = static_cast<std::int64_t>(stacks[1]->view_changes());
+  c.mechanisms = 3;  // orderer + flush + membership consensus
+  return c;
+}
+
+Counts run_new() {
+  World::Config config;
+  config.n = kProcs;
+  config.seed = 23;
+  config.stack.monitoring.exclusion_timeout = msec(700);
+  World world(config);
+  world.found_group({0, 1, 2, 3});
+  int sent = 0;
+  std::function<void()> tick = [&] {
+    if (sent >= kMessages) return;
+    world.stack(static_cast<ProcessId>(1 + sent % 3)).abcast(payload_of(sent));
+    ++sent;
+    world.engine().schedule_after(msec(2), tick);
+  };
+  world.engine().schedule_after(0, tick);
+  world.engine().schedule_at(msec(60), [&] { world.stack(4).join(1); });
+  world.engine().schedule_at(msec(120), [&] { world.crash(3); });
+  world.engine().run_until(sec(5));
+  Counts c;
+  c.orderer_assignments = 0;
+  c.flush_rounds = 0;
+  c.consensus_instances = world.stack(1).consensus().instances_decided();
+  c.view_changes =
+      static_cast<std::int64_t>(world.stack(1).membership().views_installed()) - 1;
+  c.mechanisms = 1;  // consensus, full stop
+  return c;
+}
+
+}  // namespace
+}  // namespace gcs::bench
+
+int main() {
+  using namespace gcs;
+  using namespace gcs::bench;
+  banner("E6: stack complexity - where is ordering solved? (paper §4.1)",
+         "identical churn workload (100 msgs + 1 join + 1 crash) per stack;\n"
+         "counting every engagement of every ordering mechanism");
+
+  Table table({"stack", "ordering mechanisms", "orderer assignments", "VS flushes",
+               "consensus instances", "view changes"});
+  const auto seq = run_traditional(traditional::GmVsStack::Ordering::kSequencer);
+  table.add_row({"isis-like (sequencer)", "3 (seq + flush + membership)",
+                 fmt_int(seq.orderer_assignments), fmt_int(seq.flush_rounds),
+                 fmt_int(seq.consensus_instances), fmt_int(seq.view_changes)});
+  const auto tok = run_traditional(traditional::GmVsStack::Ordering::kToken);
+  table.add_row({"totem-like (token)", "3 (token + flush + membership)",
+                 fmt_int(tok.orderer_assignments), fmt_int(tok.flush_rounds),
+                 fmt_int(tok.consensus_instances), fmt_int(tok.view_changes)});
+  const auto nw = run_new();
+  table.add_row({"new AB-GB", "1 (consensus)", fmt_int(nw.orderer_assignments),
+                 fmt_int(nw.flush_rounds), fmt_int(nw.consensus_instances),
+                 fmt_int(nw.view_changes)});
+  table.print();
+  std::printf(
+      "\nReading: the traditional stacks keep three ordering mechanisms busy\n"
+      "(per-message sequencing, the VS flush, and view agreement); the new\n"
+      "architecture routes messages, view changes AND generic-broadcast\n"
+      "resolutions through one consensus sequence (§4.1: less complex).\n");
+  return 0;
+}

@@ -1,0 +1,138 @@
+/// \file bench_e7_micro.cpp
+/// E7 — wall-clock microbenchmarks (google-benchmark) of the building
+/// blocks: codec, event engine, network, consensus, atomic and generic
+/// broadcast end-to-end. These measure REAL time (how fast the simulator
+/// executes), complementing the virtual-time experiment tables E1–E6.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/stack.hpp"
+#include "replication/state_machine.hpp"
+#include "util/codec.hpp"
+
+namespace gcs {
+namespace {
+
+void BM_CodecEncode(benchmark::State& state) {
+  for (auto _ : state) {
+    Encoder enc;
+    for (int i = 0; i < 32; ++i) {
+      enc.put_u64(static_cast<std::uint64_t>(i) * 977);
+      enc.put_msgid(MsgId{static_cast<ProcessId>(i), static_cast<std::uint64_t>(i)});
+    }
+    benchmark::DoNotOptimize(enc.bytes());
+  }
+}
+BENCHMARK(BM_CodecEncode);
+
+void BM_CodecDecode(benchmark::State& state) {
+  Encoder enc;
+  for (int i = 0; i < 32; ++i) {
+    enc.put_u64(static_cast<std::uint64_t>(i) * 977);
+    enc.put_msgid(MsgId{static_cast<ProcessId>(i), static_cast<std::uint64_t>(i)});
+  }
+  const Bytes buf = enc.take();
+  for (auto _ : state) {
+    Decoder dec(buf);
+    std::uint64_t sum = 0;
+    for (int i = 0; i < 32; ++i) {
+      sum += dec.get_u64();
+      sum += static_cast<std::uint64_t>(dec.get_msgid().seq);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_CodecDecode);
+
+void BM_EngineScheduleAndRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      engine.schedule_at(i, [&fired] { ++fired; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(fired);
+  }
+}
+BENCHMARK(BM_EngineScheduleAndRun);
+
+void BM_NetworkSendDeliver(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    sim::Network net(engine, 2, sim::LinkModel{}, 1);
+    int received = 0;
+    net.set_handler(1, [&](ProcessId, const Bytes&) { ++received; });
+    for (int i = 0; i < 100; ++i) net.send(0, 1, Bytes{1, 2, 3, 4});
+    engine.run();
+    benchmark::DoNotOptimize(received);
+  }
+}
+BENCHMARK(BM_NetworkSendDeliver);
+
+/// Full-stack construction cost: n processes with all Fig 9 components.
+void BM_StackConstruction(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    World::Config config;
+    config.n = n;
+    World world(config);
+    benchmark::DoNotOptimize(&world.stack(0));
+  }
+}
+BENCHMARK(BM_StackConstruction)->Arg(4)->Arg(8)->Arg(16);
+
+/// One consensus-ordered abcast batch, end to end (simulation wall time).
+void BM_AbcastBatch(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    World::Config config;
+    config.n = 4;
+    World world(config);
+    std::size_t delivered = 0;
+    world.stack(0).on_adeliver([&](const MsgId&, const Bytes&) { ++delivered; });
+    world.found_group_all();
+    for (int i = 0; i < batch; ++i) {
+      world.stack(static_cast<ProcessId>(i % 4)).abcast(Bytes{static_cast<std::uint8_t>(i)});
+    }
+    while (delivered < static_cast<std::size_t>(batch) && world.engine().step()) {
+    }
+    benchmark::DoNotOptimize(delivered);
+  }
+}
+BENCHMARK(BM_AbcastBatch)->Arg(1)->Arg(16)->Arg(64);
+
+/// Generic broadcast fast path (non-conflicting), end to end.
+void BM_GbcastFastPath(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    World::Config config;
+    config.n = 4;
+    World world(config);
+    std::size_t delivered = 0;
+    world.stack(0).on_gdeliver([&](const MsgId&, MsgClass, const Bytes&) { ++delivered; });
+    world.found_group_all();
+    for (int i = 0; i < batch; ++i) {
+      world.stack(static_cast<ProcessId>(i % 4)).rbcast(Bytes{static_cast<std::uint8_t>(i)});
+    }
+    while (delivered < static_cast<std::size_t>(batch) && world.engine().step()) {
+    }
+    benchmark::DoNotOptimize(delivered);
+  }
+}
+BENCHMARK(BM_GbcastFastPath)->Arg(1)->Arg(16)->Arg(64);
+
+void BM_BankStateMachineApply(benchmark::State& state) {
+  replication::BankAccount bank;
+  const Bytes deposit = replication::BankAccount::make_deposit(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bank.apply(deposit));
+  }
+}
+BENCHMARK(BM_BankStateMachineApply);
+
+}  // namespace
+}  // namespace gcs
+
+BENCHMARK_MAIN();

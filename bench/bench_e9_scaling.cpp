@@ -1,0 +1,180 @@
+/// \file bench_e9_scaling.cpp
+/// E9 — group-size scaling (extension beyond the paper's evaluation).
+///
+/// How the primitives behave as the group grows: failure-free latency and
+/// per-message network cost of
+///   - atomic broadcast in the new architecture (consensus-based),
+///   - the generic-broadcast fast path (quorum ACKs, no consensus),
+///   - the traditional fixed-sequencer stack,
+/// for n = 3..13. Expected shapes: the sequencer's latency is flat (two
+/// hops regardless of n) with O(n) messages; consensus latency is flat-ish
+/// but its message count grows O(n^2); the GB fast path sits in between
+/// (two hops, O(n^2) small ACKs).
+#include <memory>
+
+#include "bench/bench_util.hpp"
+#include "traditional/gmvs_stack.hpp"
+
+namespace gcs::bench {
+namespace {
+
+constexpr int kMessages = 60;
+constexpr Duration kGap = msec(2);
+
+struct Point {
+  double mean_latency = 0;
+  double msgs_per_bcast = 0;
+};
+
+Point run_new_abcast(int n) {
+  World::Config config;
+  config.n = n;
+  config.seed = 4;
+  World world(config);
+  Histogram lat;
+  std::map<MsgId, TimePoint> sent;
+  std::size_t delivered = 0;
+  world.stack(0).on_adeliver([&](const MsgId& id, const Bytes&) {
+    ++delivered;
+    auto it = sent.find(id);
+    if (it != sent.end()) lat.add(world.engine().now() - it->second);
+  });
+  world.found_group_all();
+  const auto base_msgs = world.network().metrics().counter("net.sent");
+  const TimePoint traffic_start = world.engine().now();
+  int i = 0;
+  std::function<void()> tick = [&] {
+    if (i >= kMessages) return;
+    sent[world.stack(static_cast<ProcessId>(i % n)).abcast(payload_of(i))] =
+        world.engine().now();
+    ++i;
+    world.engine().schedule_after(kGap, tick);
+  };
+  world.engine().schedule_after(0, tick);
+  drive(world.engine(), sec(120), [&] { return delivered >= kMessages; });
+  Point p;
+  p.mean_latency = lat.mean();
+  const Duration elapsed = world.engine().now() - traffic_start;
+  const double heartbeats = static_cast<double>(n) * (n - 1) *
+                            (static_cast<double>(elapsed) / static_cast<double>(msec(10)));
+  p.msgs_per_bcast =
+      (static_cast<double>(world.network().metrics().counter("net.sent") - base_msgs) -
+       heartbeats) /
+      kMessages;
+  if (p.msgs_per_bcast < 0) p.msgs_per_bcast = 0;
+  return p;
+}
+
+Point run_new_gbcast_fast(int n) {
+  World::Config config;
+  config.n = n;
+  config.seed = 4;
+  World world(config);
+  Histogram lat;
+  std::map<MsgId, TimePoint> sent;
+  std::size_t delivered = 0;
+  world.stack(0).on_gdeliver([&](const MsgId& id, MsgClass, const Bytes&) {
+    ++delivered;
+    auto it = sent.find(id);
+    if (it != sent.end()) lat.add(world.engine().now() - it->second);
+  });
+  world.found_group_all();
+  const auto base_msgs = world.network().metrics().counter("net.sent");
+  const TimePoint traffic_start = world.engine().now();
+  int i = 0;
+  std::function<void()> tick = [&] {
+    if (i >= kMessages) return;
+    sent[world.stack(static_cast<ProcessId>(i % n)).rbcast(payload_of(i))] =
+        world.engine().now();
+    ++i;
+    world.engine().schedule_after(kGap, tick);
+  };
+  world.engine().schedule_after(0, tick);
+  drive(world.engine(), sec(120), [&] { return delivered >= kMessages; });
+  Point p;
+  p.mean_latency = lat.mean();
+  const Duration elapsed = world.engine().now() - traffic_start;
+  const double heartbeats = static_cast<double>(n) * (n - 1) *
+                            (static_cast<double>(elapsed) / static_cast<double>(msec(10)));
+  p.msgs_per_bcast =
+      (static_cast<double>(world.network().metrics().counter("net.sent") - base_msgs) -
+       heartbeats) /
+      kMessages;
+  if (p.msgs_per_bcast < 0) p.msgs_per_bcast = 0;
+  return p;
+}
+
+Point run_traditional_sequencer(int n) {
+  sim::Engine engine;
+  sim::Network network(engine, n, sim::LinkModel{}, 4);
+  traditional::GmVsStack::Config cfg;
+  std::vector<std::unique_ptr<traditional::GmVsStack>> stacks;
+  for (ProcessId p = 0; p < n; ++p) {
+    stacks.push_back(std::make_unique<traditional::GmVsStack>(engine, network, p, 4, cfg));
+  }
+  Histogram lat;
+  std::map<MsgId, TimePoint> sent;
+  std::size_t delivered = 0;
+  stacks[0]->on_adeliver([&](const MsgId& id, const Bytes&) {
+    ++delivered;
+    auto it = sent.find(id);
+    if (it != sent.end()) lat.add(engine.now() - it->second);
+  });
+  std::vector<ProcessId> all;
+  for (ProcessId p = 0; p < n; ++p) all.push_back(p);
+  for (auto& s : stacks) {
+    s->init_view(all);
+    s->start();
+  }
+  const auto base_msgs = network.metrics().counter("net.sent");
+  const TimePoint traffic_start = engine.now();
+  int i = 0;
+  std::function<void()> tick = [&] {
+    if (i >= kMessages) return;
+    sent[stacks[static_cast<std::size_t>(i % n)]->abcast(payload_of(i))] = engine.now();
+    ++i;
+    engine.schedule_after(kGap, tick);
+  };
+  engine.schedule_after(0, tick);
+  drive(engine, sec(120), [&] { return delivered >= kMessages; });
+  Point p;
+  p.mean_latency = lat.mean();
+  const Duration elapsed = engine.now() - traffic_start;
+  const double heartbeats = static_cast<double>(n) * (n - 1) *
+                            (static_cast<double>(elapsed) / static_cast<double>(msec(10)));
+  p.msgs_per_bcast =
+      (static_cast<double>(network.metrics().counter("net.sent") - base_msgs) - heartbeats) /
+      kMessages;
+  if (p.msgs_per_bcast < 0) p.msgs_per_bcast = 0;
+  return p;
+}
+
+}  // namespace
+}  // namespace gcs::bench
+
+int main() {
+  using namespace gcs;
+  using namespace gcs::bench;
+  banner("E9: group-size scaling (extension)",
+         "failure-free mean latency (virtual ms) and network messages per\n"
+         "broadcast as the group grows; 60 broadcasts, one per 2ms");
+
+  Table table({"n", "abcast lat", "abcast msgs", "gb-fast lat", "gb-fast msgs",
+               "sequencer lat", "sequencer msgs"});
+  for (int n : {3, 5, 7, 9, 13}) {
+    const auto ab = run_new_abcast(n);
+    const auto gb = run_new_gbcast_fast(n);
+    const auto sq = run_traditional_sequencer(n);
+    table.add_row({fmt_int(n), fmt_ms(ab.mean_latency), fmt_double(ab.msgs_per_bcast, 0),
+                   fmt_ms(gb.mean_latency), fmt_double(gb.msgs_per_bcast, 0),
+                   fmt_ms(sq.mean_latency), fmt_double(sq.msgs_per_bcast, 0)});
+  }
+  table.print();
+  std::printf(
+      "\nReading: latencies stay roughly flat with n (all protocols are\n"
+      "constant-round when failure-free); message complexity separates them:\n"
+      "O(n) for the sequencer, O(n^2) for consensus-based abcast and for the\n"
+      "generic-broadcast fast path (n^2 ACKs, but tiny and consensus-free).\n"
+      "FD heartbeat background traffic is subtracted analytically.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+/// \file bench_util.hpp
+/// Shared helpers for the experiment benchmarks (E1..E7).
+///
+/// Experiments run under VIRTUAL time: latencies and throughputs reported
+/// in the tables are simulation-time quantities, which is what makes the
+/// runs deterministic and the comparisons fair (identical link models,
+/// identical workloads, identical seeds).
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/stack.hpp"
+#include "util/metrics.hpp"
+
+namespace gcs::bench {
+
+inline Bytes payload_of(int i) {
+  const std::string s = "msg-" + std::to_string(i);
+  return Bytes(s.begin(), s.end());
+}
+
+/// Drive the engine until \p done or \p budget virtual time passed.
+inline bool drive(sim::Engine& engine, Duration budget, const std::function<bool()>& done) {
+  const TimePoint deadline = engine.now() + budget;
+  while (!done()) {
+    if (engine.now() > deadline) return false;
+    if (!engine.step()) return done();
+  }
+  return true;
+}
+
+/// Pretty table printer: fixed-width columns from string cells.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      std::printf("  ");
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        std::printf("%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::vector<std::string> rule;
+    for (auto w : widths) rule.push_back(std::string(w, '-'));
+    print_row(rule);
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt_ms(double us_value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", us_value / 1000.0);
+  return buf;
+}
+inline std::string fmt_ms(Duration us_value) { return fmt_ms(static_cast<double>(us_value)); }
+inline std::string fmt_int(std::int64_t v) { return std::to_string(v); }
+inline std::string fmt_pct(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f%%", fraction * 100.0);
+  return buf;
+}
+inline std::string fmt_double(double v, int digits = 2) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+inline void banner(const std::string& title, const std::string& subtitle) {
+  std::printf("\n=== %s ===\n%s\n\n", title.c_str(), subtitle.c_str());
+}
+
+}  // namespace gcs::bench

@@ -1,0 +1,95 @@
+/// \file bank_account.cpp
+/// The paper's §4.2 motivating example: a replicated bank account where
+/// deposits commute (generic broadcast fast path, no consensus) and
+/// withdrawals must be totally ordered (consensus only when needed).
+///
+/// Compares the same workload running over (a) plain atomic broadcast —
+/// what a traditional stack would force — and (b) generic broadcast with
+/// the deposit/withdrawal conflict relation.
+///
+///   ./examples/bank_account
+#include <cstdio>
+
+#include "replication/active.hpp"
+#include "replication/state_machine.hpp"
+
+using namespace gcs;
+using namespace gcs::replication;
+
+namespace {
+
+struct RunResult {
+  std::int64_t final_balance = 0;
+  std::int64_t consensus_instances = 0;
+  std::uint64_t fast_deliveries = 0;
+  double mean_latency_ms = 0;
+};
+
+RunResult run(bool use_generic, int deposits, int withdrawals) {
+  World::Config config;
+  config.n = 4;
+  config.seed = 7;
+  config.stack.conflict = ConflictRelation::rbcast_abcast();
+  World world(config);
+  std::vector<std::unique_ptr<GenericActiveReplication>> replicas;
+  for (ProcessId p = 0; p < config.n; ++p) {
+    replicas.push_back(std::make_unique<GenericActiveReplication>(
+        world.stack(p), std::make_unique<BankAccount>()));
+  }
+  world.found_group_all();
+
+  Histogram latencies;
+  int completed = 0;
+  const int total = deposits + withdrawals;
+  // If generic broadcast is off, everything is a conflicting command:
+  // exactly what a stack without generic broadcast forces (§4.2).
+  for (int i = 0; i < total; ++i) {
+    const bool is_deposit = i % (total / std::max(1, withdrawals)) != 0 || withdrawals == 0;
+    const MsgClass cls = use_generic && is_deposit ? kRbcastClass : kAbcastClass;
+    const Bytes cmd =
+        is_deposit ? BankAccount::make_deposit(10) : BankAccount::make_withdraw(5);
+    const TimePoint sent = world.engine().now();
+    replicas[static_cast<std::size_t>(i % config.n)]->submit(
+        cls, cmd, [&, sent](const Bytes&) {
+          latencies.add(world.engine().now() - sent);
+          ++completed;
+        });
+    world.run_for(msec(2));
+  }
+  // Drain.
+  for (int spin = 0; spin < 1000 && completed < total; ++spin) world.run_for(msec(10));
+
+  RunResult r;
+  r.final_balance = static_cast<BankAccount&>(replicas[0]->state()).balance();
+  r.consensus_instances = world.stack(0).consensus().instances_decided();
+  r.fast_deliveries = world.stack(0).generic_broadcast().fast_deliveries();
+  r.mean_latency_ms = latencies.mean() / 1000.0;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== replicated bank account (paper §4.2) ==\n\n");
+  const int deposits = 36, withdrawals = 4;
+  std::printf("workload: %d deposits (commutative) + %d withdrawals, 4 replicas\n\n",
+              deposits, withdrawals);
+
+  const RunResult abcast_only = run(/*use_generic=*/false, deposits, withdrawals);
+  const RunResult generic = run(/*use_generic=*/true, deposits, withdrawals);
+
+  std::printf("%-28s %18s %18s\n", "", "abcast for all", "generic broadcast");
+  std::printf("%-28s %18lld %18lld\n", "final balance", (long long)abcast_only.final_balance,
+              (long long)generic.final_balance);
+  std::printf("%-28s %18lld %18lld\n", "consensus instances",
+              (long long)abcast_only.consensus_instances,
+              (long long)generic.consensus_instances);
+  std::printf("%-28s %18llu %18llu\n", "fast-path deliveries",
+              (unsigned long long)abcast_only.fast_deliveries,
+              (unsigned long long)generic.fast_deliveries);
+  std::printf("%-28s %17.2fm %17.2fm\n", "mean command latency (ms)",
+              abcast_only.mean_latency_ms, generic.mean_latency_ms);
+  std::printf("\nSame final state, but the deposits rode the fast path: the\n"
+              "generic-broadcast run invoked consensus only for the withdrawals.\n");
+  return 0;
+}

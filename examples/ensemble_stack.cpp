@@ -1,0 +1,96 @@
+/// \file ensemble_stack.cpp
+/// Rebuilds the SHAPE of the paper's Figure 5 (an Ensemble protocol stack)
+/// with the composition kernel of src/kernel, and demonstrates the event
+/// patterns §2.2 describes:
+///   - components composed bottom-up from off-the-shelf layers;
+///   - a `stable` component whose notification travels DOWN the stack,
+///     bounces at the bottom, and notifies every layer on its way UP;
+///   - the subscription model: layers only see the events they ask for.
+///
+///   ./examples/ensemble_stack
+#include <cstdio>
+#include <memory>
+
+#include "kernel/layers.hpp"
+
+using namespace gcs;
+using namespace gcs::kernel;
+
+namespace {
+Bytes bytes_of(const std::string& s) { return Bytes(s.begin(), s.end()); }
+}  // namespace
+
+int main() {
+  std::printf("== a Fig 5-shaped stack on the composition kernel ==\n\n");
+
+  // Assemble, bottom to top (compare the paper's figure):
+  //   Network            <- bottom hook
+  //   Reliable FIFO      <- FifoLayer
+  //   Stable             <- BufferLayer + StableLayer
+  //   Trace ("interface")<- TraceLayer
+  ProtocolStack stack;
+  auto fifo = std::make_unique<FifoLayer>();
+  fifo->set_self_index(0);
+  auto* fifo_ptr = fifo.get();
+  stack.push_layer(std::move(fifo));
+  auto buffer = std::make_unique<BufferLayer>();
+  auto* buffer_ptr = buffer.get();
+  stack.push_layer(std::move(buffer));
+  auto stable = std::make_unique<StableLayer>();
+  stable->set_self_index(2);
+  stack.push_layer(std::move(stable));
+  auto trace = std::make_unique<TraceLayer>("interface");
+  auto* trace_ptr = trace.get();
+  stack.push_layer(std::move(trace));
+
+  std::printf("stack (bottom -> top):");
+  for (const auto& name : stack.describe()) std::printf("  [%s]", name.c_str());
+  std::printf("\n\n");
+
+  int wire_sends = 0;
+  stack.set_bottom_hook([&](Event& e) {
+    if (e.kind == kSendEvent) {
+      ++wire_sends;
+      std::printf("  wire: send #%lld to p%d\n",
+                  static_cast<long long>(e.attrs.at("fifo.seq")), e.peer);
+    } else if (e.kind == kStabilityEvent) {
+      std::printf("  wire: stability notification bounced at the bottom\n");
+      e.direction = Direction::kUp;
+    }
+  });
+  stack.set_top_hook([&](Event& e) {
+    if (e.kind == kDeliverEvent) {
+      std::printf("  app: deliver from p%d (fifo.seq=%lld)\n", e.peer,
+                  static_cast<long long>(e.attrs.at("fifo.seq")));
+    } else if (e.kind == kStabilityEvent) {
+      std::printf("  app: observed stability notification travelling up\n");
+    }
+  });
+
+  std::printf("-- the application sends three messages down the stack\n");
+  for (int i = 0; i < 3; ++i) stack.inject(Event::send_to(1, bytes_of("m" + std::to_string(i))));
+  std::printf("   buffer now holds %zu unstable messages\n\n", buffer_ptr->buffered());
+
+  std::printf("-- up-traffic arrives out of order: seq 1 before seq 0\n");
+  for (std::int64_t seq : {1, 0}) {
+    Event e = Event::deliver_from(2, bytes_of("r" + std::to_string(seq)));
+    e.attrs["fifo.seq"] = seq;
+    stack.inject(std::move(e));
+  }
+  std::printf("   (the fifo layer held seq 1 back until seq 0 arrived)\n\n");
+
+  std::printf("-- probing the stable layer: the notification goes down, bounces,\n");
+  std::printf("   and prunes the buffer on its way back up (paper §2.2)\n");
+  Event tick;
+  tick.kind = kProbeTick;
+  tick.direction = Direction::kDown;
+  stack.inject(std::move(tick));
+  std::printf("   buffer after pruning: %zu messages\n", buffer_ptr->buffered());
+
+  std::printf("\nevents routed: %llu; wire sends: %d; trace entries: %zu\n",
+              static_cast<unsigned long long>(stack.events_routed()), wire_sends,
+              trace_ptr->entries().size());
+  std::printf("(held back right now: %zu)\n", fifo_ptr->held_back());
+  std::printf("done.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+/// \file realtime_demo.cpp
+/// The same Fig 9 stack running over REAL UDP loopback sockets in wall
+/// time — no simulated network. Four group members (one socket each) order
+/// messages, admit a joiner, and survive a crash, all inside one OS
+/// process driven by the single-threaded real-time runner.
+///
+///   ./examples/realtime_demo
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "core/stack.hpp"
+#include "runtime/realtime_runner.hpp"
+#include "runtime/udp_transport.hpp"
+
+using namespace gcs;
+using namespace gcs::rt;
+
+namespace {
+Bytes bytes_of(const std::string& s) { return Bytes(s.begin(), s.end()); }
+std::string str_of(const Bytes& b) { return std::string(b.begin(), b.end()); }
+}  // namespace
+
+int main() {
+  std::printf("== real-time demo: the stack over UDP loopback ==\n\n");
+  constexpr int kN = 5;
+  constexpr std::uint16_t kBasePort = 39200;
+
+  sim::Engine engine;
+  RealTimeRunner runner(engine);
+  std::vector<std::unique_ptr<sim::Context>> transport_ctxs;
+  std::vector<std::unique_ptr<GcsStack>> stacks;
+  std::vector<std::size_t> delivered(kN, 0);
+
+  StackConfig sc;
+  sc.fd.heartbeat_interval = msec(5);
+  sc.consensus_suspect_timeout = msec(100);
+  sc.monitoring.exclusion_timeout = msec(600);
+
+  for (ProcessId p = 0; p < kN; ++p) {
+    transport_ctxs.push_back(std::make_unique<sim::Context>(
+        p, engine, Rng(static_cast<std::uint64_t>(p) + 1), Logger(),
+        std::make_shared<Metrics>()));
+    UdpTransport::Config ucfg;
+    ucfg.base_port = kBasePort;
+    auto transport = std::make_unique<UdpTransport>(*transport_ctxs.back(), kN, ucfg);
+    runner.add_pollable([t = transport.get()] { return t->poll(); });
+    stacks.push_back(std::make_unique<GcsStack>(engine, std::move(transport), p,
+                                                static_cast<std::uint64_t>(p) + 7, sc));
+    stacks.back()->on_adeliver([&delivered, p](const MsgId& id, const Bytes& b) {
+      ++delivered[static_cast<std::size_t>(p)];
+      if (p == 0) {
+        std::printf("   p0 adeliver %-6s \"%s\"\n", to_string(id).c_str(),
+                    str_of(b).c_str());
+      }
+    });
+  }
+  stacks[0]->on_view([&](const View& v) {
+    std::string members;
+    for (ProcessId p : v.members) members += " p" + std::to_string(p);
+    std::printf("   p0 new_view #%llu {%s }\n", static_cast<unsigned long long>(v.id),
+                members.c_str());
+  });
+
+  std::printf("-- founding group {p0..p3} on UDP ports %u..%u\n", kBasePort, kBasePort + 3);
+  for (ProcessId p = 0; p < 4; ++p) stacks[static_cast<std::size_t>(p)]->init_view({0, 1, 2, 3});
+
+  std::printf("-- atomic broadcast over real sockets\n");
+  stacks[1]->abcast(bytes_of("hello from a real datagram"));
+  stacks[2]->abcast(bytes_of("ordered against it"));
+  runner.run_until(std::chrono::seconds(5), [&] { return delivered[0] >= 2; });
+
+  std::printf("-- p4 joins in wall time\n");
+  stacks[4]->join(1);
+  runner.run_until(std::chrono::seconds(5), [&] { return stacks[4]->membership().is_member(); });
+  std::printf("   p4 member: %s\n", stacks[4]->membership().is_member() ? "yes" : "no");
+
+  std::printf("-- crashing p3 (socket goes silent); monitoring excludes it\n");
+  stacks[3]->crash();
+  stacks[0]->abcast(bytes_of("still running"));
+  runner.run_until(std::chrono::seconds(8),
+                   [&] { return !stacks[0]->view().contains(3) && delivered[0] >= 3; });
+
+  std::printf("\nfinal view at p0: %zu members; p0 delivered %zu messages\n",
+              stacks[0]->view().members.size(), delivered[0]);
+  std::printf("done.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+/// \file trace_tool.cpp
+/// Wire-level tracing: taps the simulated network and prints a sequence
+/// diagram of one atomic broadcast — every datagram, classified by the
+/// component tag it carries. Handy for understanding (and teaching) how an
+/// abcast becomes a consensus instance.
+///
+///   ./examples/trace_tool
+#include <cstdio>
+#include <string>
+
+#include "core/stack.hpp"
+#include "util/codec.hpp"
+
+using namespace gcs;
+
+namespace {
+
+Bytes bytes_of(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+const char* tag_name(std::uint8_t tag) {
+  switch (static_cast<Tag>(tag)) {
+    case Tag::kChannel: return "channel";
+    case Tag::kFd: return "fd.heartbeat";
+    case Tag::kConsensus: return "consensus";
+    case Tag::kRbcast: return "rbcast";
+    case Tag::kAbcast: return "abcast";
+    case Tag::kGbcast: return "gb.ack";
+    case Tag::kMembership: return "membership";
+    case Tag::kMonitoring: return "monitoring";
+    case Tag::kGbData: return "gb.data";
+    case Tag::kApp: return "app";
+    case Tag::kCbcast: return "cbcast";
+    default: return "?";
+  }
+}
+
+/// Channel frames wrap an inner tag; dig it out for a useful label.
+std::string classify(const Bytes& datagram) {
+  if (datagram.empty()) return "?";
+  const auto outer = datagram[0];
+  if (static_cast<Tag>(outer) != Tag::kChannel) return tag_name(outer);
+  // channel frame: kind(1) seq(varint) upper-tag(1) payload
+  Decoder dec(datagram.data() + 1, datagram.size() - 1);
+  const std::uint8_t kind = dec.get_byte();
+  if (kind == 1) return "channel.ack";
+  (void)dec.get_u64();  // seq
+  const std::uint8_t upper = dec.get_byte();
+  if (!dec.ok()) return "channel.data";
+  return std::string("channel[") + tag_name(upper) + "]";
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== wire trace of one atomic broadcast (3 processes) ==\n\n");
+  World::Config config;
+  config.n = 3;
+  config.seed = 1;
+  World world(config);
+  world.found_group_all();
+  // Let startup traffic (heartbeats) settle before arming the tap.
+  world.run_for(msec(30));
+
+  int lines = 0;
+  world.network().set_tap([&](ProcessId from, ProcessId to, const Bytes& b) {
+    const std::string what = classify(b);
+    if (what == "fd.heartbeat" || what == "channel.ack") return;  // noise
+    if (lines >= 60) return;
+    ++lines;
+    // Sequence-diagram-ish rendering: columns p0 p1 p2.
+    std::string cols = "      .        .        .   ";
+    const auto col = [](ProcessId p) { return 6 + 9 * static_cast<std::size_t>(p); };
+    cols[col(from)] = 'o';
+    cols[col(to)] = '>';
+    std::printf("[%9.3fms] %s  p%d -> p%d  %-22s (%zu B)\n",
+                world.engine().now() / 1000.0, cols.c_str(), from, to, what.c_str(),
+                b.size());
+  });
+
+  std::printf("      p0       p1       p2\n");
+  world.stack(1).abcast(bytes_of("trace me"));
+  world.run_for(msec(20));
+
+  std::printf("\nReading the trace: the message floods via channel[rbcast] (p1 to\n"
+              "all, then relays); consensus runs inside channel[consensus]\n"
+              "(estimate -> propose -> ack -> decide); no membership traffic is\n"
+              "involved anywhere — the Fig 6 point, visible on the wire.\n");
+  return 0;
+}

@@ -1,0 +1,169 @@
+#include "broadcast/atomic_broadcast.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/codec.hpp"
+
+namespace gcs {
+
+AtomicBroadcast::AtomicBroadcast(sim::Context& ctx, ReliableBroadcast& rbcast,
+                                 ConsensusProtocol& consensus)
+    : ctx_(ctx), rbcast_(rbcast), consensus_(consensus), subscribers_(8) {
+  rbcast_.on_deliver([this](const MsgId& id, const Bytes& b) { on_rdeliver(id, b); });
+  consensus_.on_decide([this](std::uint64_t k, const Bytes& v) { on_decide(k, v); });
+  // Garbage collection: once a message is stable (received by every
+  // member), the rbcast below suppresses any late relay of it, so our
+  // dedup entry can go. See reliable_broadcast.hpp for the floor protocol.
+  rbcast_.on_stable([this](ProcessId sender, std::uint64_t upto) {
+    for (auto it = adelivered_.begin(); it != adelivered_.end();) {
+      it = (it->sender == sender && it->seq < upto) ? adelivered_.erase(it) : ++it;
+    }
+  });
+}
+
+void AtomicBroadcast::init(std::vector<ProcessId> members, std::uint64_t first_instance) {
+  assert(!members.empty());
+  members_ = std::move(members);
+  next_instance_ = first_instance;
+  initialized_ = true;
+  rbcast_.set_group(members_);
+}
+
+bool AtomicBroadcast::is_member() const {
+  return std::find(members_.begin(), members_.end(), ctx_.self()) != members_.end();
+}
+
+MsgId AtomicBroadcast::abcast(SubTag subtag, Bytes payload) {
+  assert(initialized_);
+  Encoder enc;
+  enc.put_byte(subtag);
+  enc.put_bytes(payload);
+  ctx_.metrics().inc("abcast.broadcasts");
+  return rbcast_.broadcast(enc.take());
+}
+
+void AtomicBroadcast::subscribe(SubTag subtag, DeliverFn fn) {
+  if (subtag >= subscribers_.size()) subscribers_.resize(subtag + 1);
+  subscribers_[subtag].push_back(std::move(fn));
+}
+
+void AtomicBroadcast::set_members(std::vector<ProcessId> members) {
+  assert(!members.empty());
+  members_ = std::move(members);
+  rbcast_.set_group(members_);
+}
+
+Bytes AtomicBroadcast::snapshot() const {
+  Encoder enc;
+  enc.put_vector(members_, [](Encoder& e, ProcessId p) { e.put_i32(p); });
+  enc.put_u64(next_instance_);
+  enc.put_u64(adelivered_.size());
+  for (const MsgId& id : adelivered_) enc.put_msgid(id);
+  enc.put_bytes(rbcast_.stability_snapshot());
+  return enc.take();
+}
+
+void AtomicBroadcast::restore(const Bytes& snapshot) {
+  Decoder dec(snapshot);
+  auto members = dec.get_vector<ProcessId>([](Decoder& d) { return d.get_i32(); });
+  const std::uint64_t next = dec.get_u64();
+  const std::uint64_t count = dec.get_u64();
+  std::unordered_set<MsgId> delivered;
+  for (std::uint64_t i = 0; i < count && dec.ok(); ++i) delivered.insert(dec.get_msgid());
+  const Bytes stability = dec.get_bytes();
+  if (!dec.ok()) return;
+  rbcast_.restore_stability(stability);
+  members_ = std::move(members);
+  next_instance_ = next;
+  adelivered_ = std::move(delivered);
+  // Discard anything learned while not a member: old pending messages are
+  // either already delivered (covered by adelivered_) or will reappear in
+  // future decisions with payloads.
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    it = adelivered_.count(it->first) ? pending_.erase(it) : ++it;
+  }
+  decision_buffer_.erase(decision_buffer_.begin(),
+                         decision_buffer_.lower_bound(next_instance_));
+  initialized_ = true;
+  instance_running_ = false;
+  rbcast_.set_group(members_);
+  try_start_instance();
+}
+
+void AtomicBroadcast::on_rdeliver(const MsgId& id, const Bytes& payload) {
+  if (adelivered_.count(id)) return;
+  Decoder dec(payload);
+  const SubTag subtag = dec.get_byte();
+  Bytes body = dec.get_bytes();
+  if (!dec.ok()) return;
+  pending_.emplace(id, Pending{subtag, std::move(body)});
+  try_start_instance();
+}
+
+void AtomicBroadcast::try_start_instance() {
+  if (!initialized_ || instance_running_ || pending_.empty() || !is_member()) return;
+  instance_running_ = true;
+  // Propose the whole pending batch: (id, subtag, payload) triples in MsgId
+  // order. Payloads ride inside the proposal so that a process that missed
+  // the rbcast can still deliver from the decision alone.
+  Encoder enc;
+  enc.put_u64(pending_.size());
+  for (const auto& [id, msg] : pending_) {
+    enc.put_msgid(id);
+    enc.put_byte(msg.subtag);
+    enc.put_bytes(msg.payload);
+  }
+  consensus_.propose(next_instance_, enc.take(), members_);
+}
+
+void AtomicBroadcast::on_decide(std::uint64_t k, const Bytes& value) {
+  if (k >= next_instance_) decision_buffer_.emplace(k, value);
+  // Drop any stale decisions (re-delivered duplicates) so they cannot block
+  // the in-order processing loop below.
+  decision_buffer_.erase(decision_buffer_.begin(),
+                         decision_buffer_.lower_bound(next_instance_));
+  // Process decisions strictly in instance order.
+  while (!decision_buffer_.empty() && decision_buffer_.begin()->first == next_instance_) {
+    auto node = decision_buffer_.extract(decision_buffer_.begin());
+    const Bytes& batch = node.mapped();
+    Decoder dec(batch);
+    const std::uint64_t count = dec.get_u64();
+    struct Entry {
+      MsgId id;
+      SubTag subtag;
+      Bytes payload;
+    };
+    std::vector<Entry> entries;
+    entries.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count && dec.ok(); ++i) {
+      Entry e;
+      e.id = dec.get_msgid();
+      e.subtag = dec.get_byte();
+      e.payload = dec.get_bytes();
+      entries.push_back(std::move(e));
+    }
+    if (!dec.ok()) entries.clear();  // corrupt decision: deliver nothing
+    // The proposer already ordered by MsgId (std::map iteration), but sort
+    // defensively so the delivery order never depends on the proposer.
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) { return a.id < b.id; });
+    ++next_instance_;
+    instance_running_ = false;
+    for (const Entry& e : entries) {
+      if (!adelivered_.insert(e.id).second) continue;  // already ordered
+      pending_.erase(e.id);
+      ++delivered_count_;
+      ctx_.metrics().inc("abcast.delivered");
+      if (e.subtag < subscribers_.size()) {
+        for (const auto& fn : subscribers_[e.subtag]) fn(e.id, e.payload);
+      }
+    }
+  }
+  // Old decision values are dead weight; keep a small tail for stragglers'
+  // DECIDE echoes, then let consensus forget them.
+  if (next_instance_ > 16) consensus_.forget_below(next_instance_ - 16);
+  try_start_instance();
+}
+
+}  // namespace gcs

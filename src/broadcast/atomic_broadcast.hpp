@@ -1,0 +1,107 @@
+/// \file atomic_broadcast.hpp
+/// Atomic (total order) broadcast by reduction to consensus [Chandra–Toueg].
+///
+/// This is the paper's basic ordering component (Fig 6/7/9): it does NOT
+/// rely on a group membership service — it runs on ◇S consensus, so false
+/// suspicions never block or reconfigure it. The reduction:
+///
+///   abcast(m):  rbcast m to the group.
+///   ordering:   each process batches rdelivered-but-unordered messages and
+///               proposes the batch as consensus instance k; the decision of
+///               instance k is a batch, delivered in deterministic (MsgId)
+///               order; then k+1 starts if work remains.
+///
+/// Dynamic membership (the membership layer lives ABOVE this component):
+/// view changes arrive as ordinary adelivered messages; set_members() takes
+/// effect for instances started after the current decision, so every member
+/// agrees on the member set of every instance.
+///
+/// Messages carry a one-byte SubTag so several upper layers (application,
+/// membership, generic broadcast) share one total order — the essence of
+/// "the ordering problem is solved in exactly one place" (§4.1).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+#include "broadcast/reliable_broadcast.hpp"
+#include "consensus/consensus.hpp"
+#include "consensus/consensus_protocol.hpp"
+#include "sim/context.hpp"
+
+namespace gcs {
+
+class AtomicBroadcast {
+ public:
+  /// Upper-layer multiplexing within the single total order.
+  using SubTag = std::uint8_t;
+  static constexpr SubTag kApp = 0;         ///< application payloads
+  static constexpr SubTag kViewChange = 1;  ///< membership view changes
+  static constexpr SubTag kGbResolve = 2;   ///< generic broadcast resolution
+
+  using DeliverFn = std::function<void(const MsgId& id, const Bytes& payload)>;
+
+  AtomicBroadcast(sim::Context& ctx, ReliableBroadcast& rbcast, ConsensusProtocol& consensus);
+
+  /// Install the initial view (Fig 9: init_view). Must be identical at all
+  /// initial members. \p first_instance > 0 is used by joiners after state
+  /// transfer.
+  void init(std::vector<ProcessId> members, std::uint64_t first_instance = 0);
+
+  /// Atomically broadcast \p payload for layer \p subtag. Returns the
+  /// message id (also passed to the delivery callback).
+  MsgId abcast(SubTag subtag, Bytes payload);
+
+  /// Total-order delivery for one subtag. Deliveries across subtags are
+  /// interleaved in the single total order.
+  void subscribe(SubTag subtag, DeliverFn fn);
+
+  /// Change the member set, effective from the next consensus instance.
+  /// Called by the membership layer inside a kViewChange delivery.
+  void set_members(std::vector<ProcessId> members);
+  const std::vector<ProcessId>& members() const { return members_; }
+  bool is_member() const;
+
+  /// Next consensus instance number (== number of decided batches). Part of
+  /// the state-transfer snapshot for joiners.
+  std::uint64_t next_instance() const { return next_instance_; }
+
+  /// Serialize the ordering state a joiner needs: member set, next
+  /// instance, and the ids already delivered (so relayed copies of old
+  /// messages are not re-ordered). Taken at a view-change adelivery point,
+  /// where it is identical at every member.
+  Bytes snapshot() const;
+
+  /// Install a snapshot (joiner side). Replaces init().
+  void restore(const Bytes& snapshot);
+
+  /// Number of messages adelivered locally.
+  std::uint64_t delivered_count() const { return delivered_count_; }
+
+ private:
+  struct Pending {
+    SubTag subtag;
+    Bytes payload;
+  };
+
+  void on_rdeliver(const MsgId& id, const Bytes& payload);
+  void on_decide(std::uint64_t k, const Bytes& value);
+  void try_start_instance();
+
+  sim::Context& ctx_;
+  ReliableBroadcast& rbcast_;
+  ConsensusProtocol& consensus_;
+  std::vector<ProcessId> members_;
+  bool initialized_ = false;
+  std::uint64_t next_instance_ = 0;
+  bool instance_running_ = false;
+  std::map<MsgId, Pending> pending_;            // rdelivered, not yet ordered
+  std::unordered_set<MsgId> adelivered_;
+  std::map<std::uint64_t, Bytes> decision_buffer_;  // out-of-order decisions
+  std::vector<std::vector<DeliverFn>> subscribers_;
+  std::uint64_t delivered_count_ = 0;
+};
+
+}  // namespace gcs

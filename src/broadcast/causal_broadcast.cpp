@@ -1,0 +1,79 @@
+#include "broadcast/causal_broadcast.hpp"
+
+#include <cassert>
+
+#include "util/codec.hpp"
+
+namespace gcs {
+
+CausalBroadcast::CausalBroadcast(sim::Context& ctx, ReliableBroadcast& rbcast,
+                                 int universe_size)
+    : ctx_(ctx), rbcast_(rbcast),
+      sent_(static_cast<std::size_t>(universe_size), 0),
+      delivered_(static_cast<std::size_t>(universe_size), 0) {
+  rbcast_.on_deliver([this](const MsgId& id, const Bytes& b) { on_rdeliver(id, b); });
+}
+
+MsgId CausalBroadcast::cbcast(Bytes payload) {
+  const auto self = static_cast<std::size_t>(ctx_.self());
+  assert(self < sent_.size());
+  ++sent_[self];
+  Encoder enc;
+  enc.put_u64(sent_.size());
+  for (std::uint64_t v : sent_) enc.put_u64(v);
+  enc.put_bytes(payload);
+  ctx_.metrics().inc("cbcast.broadcasts");
+  return rbcast_.broadcast(enc.take());
+}
+
+void CausalBroadcast::on_rdeliver(const MsgId& id, const Bytes& wire) {
+  Decoder dec(wire);
+  const std::uint64_t n = dec.get_u64();
+  if (n != delivered_.size()) return;  // wrong universe: drop
+  Held held;
+  held.id = id;
+  held.vc.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n && dec.ok(); ++i) held.vc.push_back(dec.get_u64());
+  held.payload = dec.get_bytes();
+  if (!dec.ok()) return;
+  holdback_.push_back(std::move(held));
+  drain();
+}
+
+bool CausalBroadcast::deliverable(const Held& m) const {
+  const auto sender = static_cast<std::size_t>(m.id.sender);
+  if (sender >= delivered_.size()) return false;
+  if (m.vc[sender] != delivered_[sender] + 1) return false;
+  for (std::size_t k = 0; k < delivered_.size(); ++k) {
+    if (k == sender) continue;
+    if (m.vc[k] > delivered_[k]) return false;
+  }
+  return true;
+}
+
+void CausalBroadcast::drain() {
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (auto it = holdback_.begin(); it != holdback_.end(); ++it) {
+      if (!deliverable(*it)) continue;
+      Held m = std::move(*it);
+      holdback_.erase(it);
+      const auto sender = static_cast<std::size_t>(m.id.sender);
+      delivered_[sender] = m.vc[sender];
+      // Receiving causally fresh information also advances our send vector
+      // so our NEXT broadcast is ordered after everything we delivered.
+      for (std::size_t k = 0; k < sent_.size(); ++k) {
+        if (k != static_cast<std::size_t>(ctx_.self())) {
+          sent_[k] = std::max(sent_[k], m.vc[k]);
+        }
+      }
+      ctx_.metrics().inc("cbcast.delivered");
+      for (const auto& fn : deliver_fns_) fn(m.id, m.payload);
+      progressed = true;
+      break;  // restart: the erase invalidated the iterator
+    }
+  }
+}
+
+}  // namespace gcs

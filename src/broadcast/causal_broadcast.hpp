@@ -1,0 +1,65 @@
+/// \file causal_broadcast.hpp
+/// Causal-order broadcast (vector clocks), the Isis heritage layer.
+///
+/// The paper's survey notes (footnote 3) that the Isis stack also offered
+/// causal order; this optional component restores that capability on top
+/// of the reliable broadcast substrate: if the broadcast of m causally
+/// precedes the broadcast of m' (same sender, or m was delivered at m''s
+/// sender before m' was broadcast), every process delivers m before m'.
+/// Concurrent messages are delivered in any order — cheaper than atomic
+/// broadcast (no consensus), stronger than plain reliable broadcast.
+///
+/// Classic vector-clock algorithm: message m from q carries q's send
+/// vector V; m is delivered at p once V[q] == local[q] + 1 and
+/// V[k] <= local[k] for all k != q; otherwise it waits in a hold-back
+/// queue.
+#pragma once
+
+#include <functional>
+#include <list>
+#include <vector>
+
+#include "broadcast/reliable_broadcast.hpp"
+#include "sim/context.hpp"
+
+namespace gcs {
+
+class CausalBroadcast {
+ public:
+  using DeliverFn = std::function<void(const MsgId& id, const Bytes& payload)>;
+
+  /// \param universe_size vector clock width (process ids 0..n-1).
+  CausalBroadcast(sim::Context& ctx, ReliableBroadcast& rbcast, int universe_size);
+
+  /// The delivering group (forwarded to the underlying rbcast).
+  void set_group(std::vector<ProcessId> group) { rbcast_.set_group(std::move(group)); }
+
+  /// Causally ordered broadcast.
+  MsgId cbcast(Bytes payload);
+
+  void on_deliver(DeliverFn fn) { deliver_fns_.push_back(std::move(fn)); }
+
+  /// This process's current delivery vector (testing/introspection).
+  const std::vector<std::uint64_t>& vector_clock() const { return delivered_; }
+  std::size_t holdback_size() const { return holdback_.size(); }
+
+ private:
+  struct Held {
+    MsgId id;
+    std::vector<std::uint64_t> vc;
+    Bytes payload;
+  };
+
+  void on_rdeliver(const MsgId& id, const Bytes& wire);
+  bool deliverable(const Held& m) const;
+  void drain();
+
+  sim::Context& ctx_;
+  ReliableBroadcast& rbcast_;
+  std::vector<std::uint64_t> sent_;       // our send vector
+  std::vector<std::uint64_t> delivered_;  // per-sender delivered counts
+  std::list<Held> holdback_;
+  std::vector<DeliverFn> deliver_fns_;
+};
+
+}  // namespace gcs

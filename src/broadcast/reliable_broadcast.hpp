@@ -1,0 +1,121 @@
+/// \file reliable_broadcast.hpp
+/// Uniform reliable broadcast over reliable channels, with optional
+/// stability tracking and garbage collection.
+///
+/// Eager flooding: on first receipt of a message every process relays it to
+/// the whole group before delivering. With reliable channels and crash-stop
+/// faults this yields *uniform* agreement: if any process delivers m, every
+/// correct group member delivers m.
+///
+/// Stability (the role of Ensemble's `stable` component, paper Fig 5): a
+/// message is *stable* once every group member has received it. Members
+/// periodically gossip per-sender contiguous receive watermarks; the
+/// group-wide minimum is the stability floor. Everything at or below the
+/// floor can be forgotten: the duplicate check for old ids becomes a seq
+/// comparison instead of a set lookup, so dedup memory stays bounded on
+/// long runs. Upper layers subscribe to on_stable() to prune their own
+/// dedup state. A crashed member freezes the floor until the membership
+/// excludes it — one more reason exclusions matter (paper §3.3.2).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "channel/reliable_channel.hpp"
+#include "util/codec.hpp"
+#include "sim/context.hpp"
+
+namespace gcs {
+
+class ReliableBroadcast {
+ public:
+  using DeliverFn = std::function<void(const MsgId& id, const Bytes& payload)>;
+  /// Everything from \p sender with seq <= \p upto is stable group-wide.
+  using StableFn = std::function<void(ProcessId sender, std::uint64_t upto)>;
+
+  /// \param tag distinct wire tag per instance, so independent rbcast
+  ///            streams (e.g. atomic broadcast's vs generic broadcast's)
+  ///            do not interfere.
+  ReliableBroadcast(sim::Context& ctx, ReliableChannel& channel, Tag tag);
+
+  /// The relay/destination group. Updated by the membership layer when
+  /// views change; joiners receive the current state by state transfer
+  /// rather than by replaying old broadcasts.
+  void set_group(std::vector<ProcessId> group);
+  const std::vector<ProcessId>& group() const { return group_; }
+
+  /// Broadcast \p payload; returns the id assigned to the message.
+  MsgId broadcast(Bytes payload);
+
+  /// Broadcast under a caller-chosen id (id.sender must be self; seq must
+  /// be fresh). Lets upper layers correlate their own identifiers.
+  void broadcast_with_id(const MsgId& id, Bytes payload);
+
+  /// ABLATION ONLY: skip the receiver-side relay ("lazy" broadcast).
+  /// Cheaper — O(n) messages instead of O(n^2) — and NOT uniform: if the
+  /// sender crashes while some of its datagrams are lost, the receivers
+  /// that did get the message deliver it while correct processes never
+  /// will. tests/uniformity_test.cpp demonstrates the violation.
+  void unsafe_set_non_uniform(bool on) { non_uniform_ = on; }
+
+  void on_deliver(DeliverFn fn) { deliver_fns_.push_back(std::move(fn)); }
+
+  /// -- stability / garbage collection ----------------------------------
+
+  /// Start gossiping watermarks every \p interval and pruning dedup state
+  /// as the floor advances. Off by default (bounded runs don't need it).
+  void enable_stability(Duration interval);
+
+  /// Fired whenever the stability floor advances for a sender; upper
+  /// layers prune their dedup state for (sender, <= upto).
+  void on_stable(StableFn fn) { stable_fns_.push_back(std::move(fn)); }
+
+  /// Current stability floor for \p sender (0 = nothing known stable;
+  /// floors are "number of stable messages", i.e. seqs < floor are stable).
+  std::uint64_t stable_floor(ProcessId sender) const;
+
+  /// Dedup-set size (tests assert boundedness).
+  std::size_t dedup_size() const { return seen_.size(); }
+
+  /// Joiner state transfer: the donor's receive watermarks. A joiner
+  /// adopting them reports the donor's reception state in its gossip (its
+  /// application snapshot covers the effects of those messages), keeping
+  /// the group's stability floors moving after the join.
+  Bytes stability_snapshot() const;
+  void restore_stability(const Bytes& snapshot);
+
+ private:
+  void on_message(ProcessId from, const Bytes& payload);
+  void handle_data(const Bytes& wire);
+  void handle_watermarks(ProcessId from, Decoder& dec);
+  void note_received(const MsgId& id);
+  void gossip_tick();
+  void recompute_floors();
+  bool below_floor(const MsgId& id) const;
+
+  sim::Context& ctx_;
+  ReliableChannel& channel_;
+  Tag tag_;
+  std::vector<ProcessId> group_;
+  std::uint64_t next_seq_ = 0;
+  std::unordered_set<MsgId> seen_;
+  std::vector<DeliverFn> deliver_fns_;
+  bool non_uniform_ = false;
+
+  // Stability state.
+  bool stability_enabled_ = false;
+  Duration gossip_interval_ = 0;
+  // Contiguous receive watermark per sender: we have all seqs < upto.
+  std::map<ProcessId, std::uint64_t> received_upto_;
+  std::map<ProcessId, std::set<std::uint64_t>> received_gaps_;  // seqs >= upto
+  // Latest watermark vector reported by each peer.
+  std::map<ProcessId, std::map<ProcessId, std::uint64_t>> peer_watermarks_;
+  // Group-wide minimum: seqs < floor are stable and forgotten.
+  std::map<ProcessId, std::uint64_t> stable_floor_;
+  std::vector<StableFn> stable_fns_;
+};
+
+}  // namespace gcs

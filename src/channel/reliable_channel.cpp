@@ -1,0 +1,218 @@
+#include "channel/reliable_channel.hpp"
+
+#include "util/codec.hpp"
+
+namespace gcs {
+
+namespace {
+constexpr std::uint8_t kData = 0;
+constexpr std::uint8_t kAck = 1;
+constexpr std::uint8_t kBatch = 2;
+}  // namespace
+
+ReliableChannel::ReliableChannel(sim::Context& ctx, Transport& transport)
+    : ReliableChannel(ctx, transport, Config{}) {}
+
+ReliableChannel::ReliableChannel(sim::Context& ctx, Transport& transport, Config config)
+    : ctx_(ctx), transport_(transport), config_(config),
+      handlers_(static_cast<std::size_t>(Tag::kMax)) {
+  transport_.subscribe(Tag::kChannel,
+                       [this](ProcessId from, const Bytes& b) { on_datagram(from, b); });
+}
+
+void ReliableChannel::send(ProcessId to, Tag upper, Bytes payload) {
+  PeerOut& peer = out_[to];
+  const std::uint64_t seq = peer.next_seq++;
+  peer.unacked.emplace(seq, Outgoing{upper, std::move(payload), kNeverSent});
+  ctx_.metrics().inc("channel.sent");
+  pump(to, peer);
+  arm_retransmit_timer();
+}
+
+void ReliableChannel::pump(ProcessId to, PeerOut& peer) {
+  if (config_.batch_delay > 0) {
+    // Batching mode: defer; the flush timer packs everything eligible.
+    if (!peer.flush_armed) {
+      peer.flush_armed = true;
+      ctx_.after(config_.batch_delay, [this, to] { flush(to); });
+    }
+    return;
+  }
+  // Transmit queued messages while the flow-control window has room.
+  // (With send_window == 0 everything goes immediately.)
+  for (auto& [seq, msg] : peer.unacked) {
+    if (config_.send_window > 0 && peer.in_flight >= config_.send_window) break;
+    if (msg.first_sent != kNeverSent) continue;
+    msg.first_sent = ctx_.now();
+    ++peer.in_flight;
+    transmit(to, seq, msg);
+  }
+}
+
+void ReliableChannel::flush(ProcessId to) {
+  auto oit = out_.find(to);
+  if (oit == out_.end()) return;
+  PeerOut& peer = oit->second;
+  peer.flush_armed = false;
+  std::vector<std::pair<std::uint64_t, const Outgoing*>> batch;
+  for (auto& [seq, msg] : peer.unacked) {
+    if (config_.send_window > 0 && peer.in_flight >= config_.send_window) break;
+    if (msg.first_sent != kNeverSent) continue;
+    msg.first_sent = ctx_.now();
+    ++peer.in_flight;
+    batch.emplace_back(seq, &msg);
+  }
+  if (batch.empty()) return;
+  if (batch.size() == 1) {
+    transmit(to, batch[0].first, *batch[0].second);
+  } else {
+    transmit_batch(to, batch);
+  }
+}
+
+void ReliableChannel::transmit_batch(
+    ProcessId to, const std::vector<std::pair<std::uint64_t, const Outgoing*>>& msgs) {
+  Encoder enc;
+  enc.put_byte(kBatch);
+  enc.put_u64(msgs.size());
+  for (const auto& [seq, msg] : msgs) {
+    enc.put_u64(seq);
+    enc.put_byte(static_cast<std::uint8_t>(msg->upper));
+    enc.put_bytes(msg->payload);
+  }
+  ++datagrams_sent_;
+  ctx_.metrics().inc("channel.batches");
+  transport_.u_send(to, Tag::kChannel, enc.bytes());
+}
+
+void ReliableChannel::subscribe(Tag upper, Handler handler) {
+  handlers_[static_cast<std::size_t>(upper)] = std::move(handler);
+}
+
+Duration ReliableChannel::oldest_unacked_age(ProcessId to) const {
+  auto it = out_.find(to);
+  if (it == out_.end()) return 0;
+  for (const auto& [seq, msg] : it->second.unacked) {
+    if (msg.first_sent != kNeverSent) return ctx_.now() - msg.first_sent;
+  }
+  return 0;
+}
+
+std::size_t ReliableChannel::unacked_count(ProcessId to) const {
+  auto it = out_.find(to);
+  return it == out_.end() ? 0 : it->second.unacked.size();
+}
+
+void ReliableChannel::forget(ProcessId to) {
+  auto it = out_.find(to);
+  if (it != out_.end()) {
+    it->second.unacked.clear();
+    it->second.in_flight = 0;
+  }
+}
+
+std::size_t ReliableChannel::queued_by_flow_control(ProcessId to) const {
+  auto it = out_.find(to);
+  if (it == out_.end()) return 0;
+  std::size_t queued = 0;
+  for (const auto& [seq, msg] : it->second.unacked) {
+    if (msg.first_sent == kNeverSent) ++queued;
+  }
+  return queued;
+}
+
+void ReliableChannel::transmit(ProcessId to, std::uint64_t seq, const Outgoing& msg) {
+  ++datagrams_sent_;
+  Encoder enc;
+  enc.put_byte(kData);
+  enc.put_u64(seq);
+  enc.put_byte(static_cast<std::uint8_t>(msg.upper));
+  enc.put_bytes(msg.payload);
+  transport_.u_send(to, Tag::kChannel, enc.bytes());
+}
+
+void ReliableChannel::send_ack(ProcessId to, std::uint64_t cumulative) {
+  Encoder enc;
+  enc.put_byte(kAck);
+  enc.put_u64(cumulative);
+  transport_.u_send(to, Tag::kChannel, enc.bytes());
+}
+
+void ReliableChannel::on_datagram(ProcessId from, const Bytes& payload) {
+  Decoder dec(payload);
+  const std::uint8_t kind = dec.get_byte();
+  if (kind == kAck) {
+    // Cumulative ack: everything strictly below `cumulative` is received.
+    const std::uint64_t cumulative = dec.get_u64();
+    if (!dec.ok()) return;
+    PeerOut& peer = out_[from];
+    auto end = peer.unacked.lower_bound(cumulative);
+    for (auto it = peer.unacked.begin(); it != end; ++it) {
+      if (it->second.first_sent != kNeverSent && peer.in_flight > 0) --peer.in_flight;
+    }
+    peer.unacked.erase(peer.unacked.begin(), end);
+    pump(from, peer);
+    return;
+  }
+  std::uint64_t entries = 1;
+  if (kind == kBatch) {
+    entries = dec.get_u64();
+  } else if (kind != kData) {
+    return;
+  }
+  PeerIn& peer = in_[from];
+  for (std::uint64_t i = 0; i < entries && dec.ok(); ++i) {
+    const std::uint64_t seq = dec.get_u64();
+    const Tag upper = static_cast<Tag>(dec.get_byte());
+    Bytes body = dec.get_bytes();
+    if (!dec.ok() || static_cast<std::size_t>(upper) >= handlers_.size()) break;
+    if (seq >= peer.next_expected && peer.holdback.find(seq) == peer.holdback.end()) {
+      peer.holdback.emplace(seq, std::make_pair(upper, std::move(body)));
+    }
+  }
+  // Deliver the in-order prefix.
+  while (!peer.holdback.empty() && peer.holdback.begin()->first == peer.next_expected) {
+    auto node = peer.holdback.extract(peer.holdback.begin());
+    ++peer.next_expected;
+    deliver(from, node.mapped().first, node.mapped().second);
+  }
+  send_ack(from, peer.next_expected);
+}
+
+void ReliableChannel::deliver(ProcessId from, Tag upper, const Bytes& payload) {
+  ctx_.metrics().inc("channel.delivered");
+  auto& handler = handlers_[static_cast<std::size_t>(upper)];
+  if (handler) handler(from, payload);
+}
+
+void ReliableChannel::arm_retransmit_timer() {
+  if (timer_armed_) return;
+  timer_armed_ = true;
+  ctx_.after(config_.rto, [this] { retransmit_tick(); });
+}
+
+void ReliableChannel::retransmit_tick() {
+  timer_armed_ = false;
+  bool outstanding = false;
+  for (auto& [to, peer] : out_) {
+    std::vector<std::pair<std::uint64_t, const Outgoing*>> due;
+    for (auto& [seq, msg] : peer.unacked) {
+      // Only retransmit messages that have been in flight at least one rto;
+      // fresh sends get their first chance and flow-control-queued ones
+      // have never been transmitted at all.
+      if (msg.first_sent != kNeverSent && ctx_.now() - msg.first_sent >= config_.rto) {
+        ctx_.metrics().inc("channel.retransmits");
+        due.emplace_back(seq, &msg);
+      }
+      outstanding = true;
+    }
+    if (due.size() == 1) {
+      transmit(to, due[0].first, *due[0].second);
+    } else if (due.size() > 1) {
+      transmit_batch(to, due);
+    }
+  }
+  if (outstanding) arm_retransmit_timer();
+}
+
+}  // namespace gcs

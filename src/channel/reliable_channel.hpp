@@ -1,0 +1,115 @@
+/// \file reliable_channel.hpp
+/// Reliable point-to-point channel (Fig 9: "Reliable Channel").
+///
+/// Guarantees: if a correct process p sends m to a correct process q, then q
+/// eventually receives m; per (sender, receiver) pair delivery is FIFO and
+/// duplicate-free. Implemented with per-peer sequence numbers, cumulative
+/// acknowledgements and periodic retransmission over the unreliable
+/// transport — the shape of the TCP-based channel of [Ekwall et al. 2002]
+/// that the paper cites.
+///
+/// The channel also exposes its output buffer age per peer: a message that
+/// stays unacknowledged for a long time is the basis for *output-triggered
+/// suspicion* (paper §3.3.2), consumed by the monitoring component.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "sim/context.hpp"
+#include "transport/transport.hpp"
+
+namespace gcs {
+
+class ReliableChannel {
+ public:
+  using Handler = std::function<void(ProcessId from, const Bytes& payload)>;
+
+  struct Config {
+    Duration rto = msec(20);  ///< retransmission period for unacked messages
+    /// Flow control (the role Totem's middle layer plays, paper Fig 4):
+    /// at most this many in-flight (transmitted, unacked) messages per
+    /// peer; the rest queue locally until acks open the window. 0 = off.
+    std::size_t send_window = 0;
+    /// Batching/piggybacking: hold sends for up to this long and pack
+    /// everything queued for a peer into one datagram. Protocols that
+    /// broadcast in bursts (consensus, GB ACKs) collapse dramatically.
+    /// 0 = off (every message is its own datagram).
+    Duration batch_delay = 0;
+  };
+
+  ReliableChannel(sim::Context& ctx, Transport& transport, Config config);
+  ReliableChannel(sim::Context& ctx, Transport& transport);
+
+  /// Reliable FIFO send of \p payload to \p to, for the component owning
+  /// \p upper. Messages to self are delivered through the loopback link.
+  void send(ProcessId to, Tag upper, Bytes payload);
+
+  /// Convenience: send the same payload to every process in \p group.
+  void send_group(const std::vector<ProcessId>& group, Tag upper, const Bytes& payload) {
+    for (ProcessId p : group) send(p, upper, payload);
+  }
+
+  /// Register the upper-layer receive handler for \p upper.
+  void subscribe(Tag upper, Handler handler);
+
+  /// -- output-triggered suspicion hooks (paper §3.3.2) ------------------
+
+  /// Age of the oldest unacknowledged message to \p to; 0 if none.
+  Duration oldest_unacked_age(ProcessId to) const;
+
+  /// Number of buffered (unacknowledged) messages to \p to.
+  std::size_t unacked_count(ProcessId to) const;
+
+  /// Discard all buffered output for \p to. Called when \p to is excluded
+  /// from the membership: its obligations are void, so the buffer can be
+  /// safely released (paper §3.3.2).
+  void forget(ProcessId to);
+
+  /// Messages queued by flow control (not yet transmitted) for \p to.
+  std::size_t queued_by_flow_control(ProcessId to) const;
+
+  /// Datagrams actually emitted (tests assert batching effectiveness).
+  std::int64_t datagrams_sent() const { return datagrams_sent_; }
+
+ private:
+  struct Outgoing {
+    Tag upper;
+    Bytes payload;
+    TimePoint first_sent;  // kNeverSent while held back by flow control
+  };
+  static constexpr TimePoint kNeverSent = -1;
+  struct PeerOut {
+    std::uint64_t next_seq = 0;
+    std::map<std::uint64_t, Outgoing> unacked;  // seq -> message
+    std::size_t in_flight = 0;                  // transmitted, unacked
+    bool flush_armed = false;                   // batching timer pending
+  };
+  struct PeerIn {
+    std::uint64_t next_expected = 0;
+    std::map<std::uint64_t, std::pair<Tag, Bytes>> holdback;  // out-of-order
+  };
+
+  void on_datagram(ProcessId from, const Bytes& payload);
+  void deliver(ProcessId from, Tag upper, const Bytes& payload);
+  void send_ack(ProcessId to, std::uint64_t cumulative);
+  void transmit(ProcessId to, std::uint64_t seq, const Outgoing& msg);
+  void transmit_batch(ProcessId to,
+                      const std::vector<std::pair<std::uint64_t, const Outgoing*>>& msgs);
+  void pump(ProcessId to, PeerOut& peer);  // flow control: fill the window
+  void flush(ProcessId to);                // batching: emit the packed datagram
+  void arm_retransmit_timer();
+  void retransmit_tick();
+
+  sim::Context& ctx_;
+  Transport& transport_;
+  Config config_;
+  std::map<ProcessId, PeerOut> out_;
+  std::map<ProcessId, PeerIn> in_;
+  std::vector<Handler> handlers_;
+  bool timer_armed_ = false;
+  std::int64_t datagrams_sent_ = 0;
+};
+
+}  // namespace gcs

@@ -1,0 +1,296 @@
+#include "consensus/consensus.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/codec.hpp"
+
+namespace gcs {
+
+namespace {
+constexpr std::uint8_t kEstimate = 0;
+constexpr std::uint8_t kPropose = 1;
+constexpr std::uint8_t kAck = 2;
+constexpr std::uint8_t kNack = 3;
+constexpr std::uint8_t kDecide = 4;
+constexpr std::uint8_t kAnnounce = 5;
+}  // namespace
+
+Consensus::Consensus(sim::Context& ctx, ReliableChannel& channel, FailureDetector& fd,
+                     FailureDetector::ClassId fd_class, Tag tag)
+    : ctx_(ctx), channel_(channel), fd_(fd), fd_class_(fd_class), tag_(tag) {
+  channel_.subscribe(tag_, [this](ProcessId from, const Bytes& b) { on_message(from, b); });
+  fd_.on_suspect(fd_class_, [this](ProcessId q) { on_fd_suspect(q); });
+}
+
+Consensus::Instance& Consensus::get_instance(std::uint64_t k,
+                                             const std::vector<ProcessId>* members_hint) {
+  auto it = instances_.find(k);
+  if (it == instances_.end()) {
+    Instance inst;
+    if (members_hint) inst.members = *members_hint;
+    inst.majority = inst.members.empty()
+                        ? 0
+                        : static_cast<int>(inst.members.size()) / 2 + 1;
+    it = instances_.emplace(k, std::move(inst)).first;
+  } else if (it->second.members.empty() && members_hint) {
+    it->second.members = *members_hint;
+    it->second.majority = static_cast<int>(members_hint->size()) / 2 + 1;
+  }
+  return it->second;
+}
+
+void Consensus::propose(std::uint64_t k, Bytes value, std::vector<ProcessId> members) {
+  assert(!members.empty());
+  if (auto it = decisions_.find(k); it != decisions_.end()) {
+    // Instance already decided (we learned the decision passively).
+    for (const auto& fn : decide_fns_) fn(k, it->second);
+    return;
+  }
+  Instance& inst = get_instance(k, &members);
+  if (inst.started || inst.decided) return;
+  inst.started = true;
+  // Do not clobber an estimate adopted while participating passively: it may
+  // be locked by a majority (CT safety argument relies on keeping it).
+  if (inst.estimate_ts < 0) {
+    inst.estimate = std::move(value);
+    inst.estimate_ts = 0;
+  }
+  ctx_.metrics().inc("consensus.instances_started");
+  // FD must watch everyone who may become coordinator.
+  fd_.monitor_group(fd_class_, inst.members);
+  // CT assumes every correct member proposes. Announce the instance so
+  // members with nothing to propose join in with our value (validity is
+  // preserved: the value is still some process's proposal). This makes a
+  // lone proposer terminate without upper-layer help.
+  Encoder announce;
+  announce.put_byte(kAnnounce);
+  announce.put_u64(k);
+  announce.put_vector(inst.members, [](Encoder& e, ProcessId p) { e.put_i32(p); });
+  announce.put_bytes(inst.estimate);
+  for (ProcessId p : inst.members) {
+    if (p != ctx_.self()) channel_.send(p, tag_, announce.bytes());
+  }
+  enter_round(k, inst, inst.round);
+}
+
+void Consensus::enter_round(std::uint64_t k, Instance& inst, std::int64_t r) {
+  if (inst.decided) return;
+  inst.round = r;
+  inst.responded = false;
+  ctx_.metrics().inc("consensus.rounds");
+  const ProcessId c = inst.coordinator(r);
+  // Phase 1: send estimate to the coordinator.
+  Encoder enc;
+  enc.put_byte(kEstimate);
+  enc.put_u64(k);
+  enc.put_i64(r);
+  enc.put_i64(inst.estimate_ts);
+  enc.put_bytes(inst.estimate);
+  channel_.send(c, tag_, enc.take());
+  // Phase 3 shortcut: if the coordinator is already suspected, NACK soon.
+  // The small delay bounds round churn when many coordinators are suspected
+  // at once (e.g. during a partition) and lets heartbeats revoke mistakes.
+  if (fd_.suspects(fd_class_, c)) {
+    ctx_.after(msec(1), [this, k, r] {
+      auto it = instances_.find(k);
+      if (it == instances_.end()) return;
+      Instance& i = it->second;
+      if (i.decided || i.round != r || i.responded) return;
+      if (fd_.suspects(fd_class_, i.coordinator(r))) nack_round(k, i);
+    });
+  }
+}
+
+void Consensus::nack_round(std::uint64_t k, Instance& inst) {
+  if (inst.decided || inst.responded) return;
+  inst.responded = true;
+  const std::int64_t r = inst.round;
+  Encoder enc;
+  enc.put_byte(kNack);
+  enc.put_u64(k);
+  enc.put_i64(r);
+  channel_.send(inst.coordinator(r), tag_, enc.take());
+  enter_round(k, inst, r + 1);
+}
+
+void Consensus::on_fd_suspect(ProcessId q) {
+  // A suspicion may unblock any started instance waiting on coordinator q.
+  // Collect the instance ids first: nack_round() mutates instances_ state.
+  std::vector<std::uint64_t> waiting;
+  for (auto& [k, inst] : instances_) {
+    if (inst.started && !inst.decided && !inst.responded && !inst.members.empty() &&
+        inst.coordinator(inst.round) == q) {
+      waiting.push_back(k);
+    }
+  }
+  for (std::uint64_t k : waiting) {
+    auto it = instances_.find(k);
+    if (it != instances_.end()) nack_round(k, it->second);
+  }
+}
+
+void Consensus::on_message(ProcessId from, const Bytes& payload) {
+  Decoder dec(payload);
+  const std::uint8_t kind = dec.get_byte();
+  const std::uint64_t k = dec.get_u64();
+  switch (kind) {
+    case kEstimate: {
+      const std::int64_t r = dec.get_i64();
+      const std::int64_t ts = dec.get_i64();
+      Bytes value = dec.get_bytes();
+      if (dec.ok()) handle_estimate(from, k, r, ts, std::move(value));
+      break;
+    }
+    case kPropose: {
+      const std::int64_t r = dec.get_i64();
+      Bytes value = dec.get_bytes();
+      if (dec.ok()) handle_propose(from, k, r, std::move(value));
+      break;
+    }
+    case kAck:
+    case kNack: {
+      const std::int64_t r = dec.get_i64();
+      if (dec.ok()) handle_ack(from, k, r, kind == kAck);
+      break;
+    }
+    case kDecide: {
+      Bytes value = dec.get_bytes();
+      if (dec.ok()) handle_decide(k, std::move(value));
+      break;
+    }
+    case kAnnounce: {
+      auto members = dec.get_vector<ProcessId>([](Decoder& d) { return d.get_i32(); });
+      Bytes value = dec.get_bytes();
+      if (!dec.ok() || decisions_.count(k)) break;
+      Instance& inst = get_instance(k, &members);
+      if (!inst.started && !inst.decided) propose(k, std::move(value), std::move(members));
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void Consensus::handle_estimate(ProcessId /*from*/, std::uint64_t k, std::int64_t r,
+                                std::int64_t ts, Bytes value) {
+  if (decisions_.count(k)) return;
+  Instance& inst = get_instance(k, nullptr);
+  if (inst.decided) return;
+  auto& round = inst.rounds[r];
+  round.estimates.emplace_back(ts, std::move(value));
+  maybe_propose_round(k, inst, r);
+}
+
+void Consensus::maybe_propose_round(std::uint64_t k, Instance& inst, std::int64_t r) {
+  // Coordinator phase 2: needs to know the member set to count a majority.
+  // Estimates may arrive before propose() told us the members; they are kept
+  // in rounds[] and re-examined when propose() runs (via enter_round ->
+  // the coordinator receives its own estimate through the loopback channel).
+  if (inst.members.empty()) return;
+  if (inst.coordinator(r) != ctx_.self()) return;
+  auto& round = inst.rounds[r];
+  if (round.proposed || static_cast<int>(round.estimates.size()) < inst.majority) return;
+  // Adopt the estimate with the highest timestamp (most recently locked).
+  const auto best = std::max_element(
+      round.estimates.begin(), round.estimates.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  round.proposed = true;
+  round.proposal = best->second;
+  Encoder enc;
+  enc.put_byte(kPropose);
+  enc.put_u64(k);
+  enc.put_i64(r);
+  enc.put_bytes(round.proposal);
+  channel_.send_group(inst.members, tag_, enc.bytes());
+}
+
+void Consensus::handle_propose(ProcessId from, std::uint64_t k, std::int64_t r, Bytes value) {
+  if (decisions_.count(k)) return;
+  Instance& inst = get_instance(k, nullptr);
+  if (inst.decided) return;
+  // Round monotonicity is a SAFETY requirement for everyone, passive
+  // participants included: once a process has ACKed round r it must never
+  // ACK a round < r, or two coordinators could both assemble majorities
+  // with different values.
+  if (r < inst.round) return;  // stale round
+  if (r > inst.round) {
+    // Fast-forward: we lagged behind; join the newer round.
+    inst.round = r;
+    inst.responded = false;
+  }
+  if (inst.responded) return;
+  inst.responded = true;
+  inst.estimate = std::move(value);
+  // Lock with ts = r + 1 so a round-0 lock (ts 1) outranks initial
+  // proposals (ts 0): the coordinator's max-ts selection must always prefer
+  // a possibly-decided value over a fresh one.
+  inst.estimate_ts = r + 1;
+  Encoder enc;
+  enc.put_byte(kAck);
+  enc.put_u64(k);
+  enc.put_i64(r);
+  channel_.send(from, tag_, enc.take());
+  if (inst.started) {
+    enter_round(k, inst, r + 1);
+  } else {
+    // Passive participant: advance the round marker so a later propose()
+    // resumes at the right round instead of regressing to round 0.
+    inst.round = r + 1;
+    inst.responded = false;
+  }
+}
+
+void Consensus::handle_ack(ProcessId /*from*/, std::uint64_t k, std::int64_t r, bool positive) {
+  if (decisions_.count(k)) return;
+  Instance& inst = get_instance(k, nullptr);
+  if (inst.decided || inst.members.empty()) return;
+  auto& round = inst.rounds[r];
+  if (!round.proposed) return;  // not our round / never proposed
+  if (positive) {
+    if (++round.acks >= inst.majority) {
+      decide(k, inst, round.proposal);
+    }
+  } else {
+    ++round.nacks;
+  }
+}
+
+void Consensus::decide(std::uint64_t k, Instance& inst, const Bytes& value) {
+  if (inst.decided) return;
+  inst.decided = true;
+  Encoder enc;
+  enc.put_byte(kDecide);
+  enc.put_u64(k);
+  enc.put_bytes(value);
+  channel_.send_group(inst.members, tag_, enc.bytes());
+  // Our own DECIDE arrives via loopback and runs handle_decide.
+}
+
+void Consensus::forget_below(std::uint64_t k) {
+  for (auto it = decisions_.begin(); it != decisions_.end();) {
+    it = (it->first < k) ? decisions_.erase(it) : ++it;
+  }
+}
+
+void Consensus::handle_decide(std::uint64_t k, Bytes value) {
+  if (decisions_.count(k)) return;
+  decisions_.emplace(k, value);
+  ++decided_count_;
+  ctx_.metrics().inc("consensus.decided");
+  auto it = instances_.find(k);
+  if (it != instances_.end()) {
+    // Echo the decision once to the members we know, then drop round state.
+    if (!it->second.decided && !it->second.members.empty()) {
+      Encoder enc;
+      enc.put_byte(kDecide);
+      enc.put_u64(k);
+      enc.put_bytes(value);
+      channel_.send_group(it->second.members, tag_, enc.bytes());
+    }
+    instances_.erase(it);
+  }
+  for (const auto& fn : decide_fns_) fn(k, value);
+}
+
+}  // namespace gcs

@@ -1,0 +1,300 @@
+#include "consensus/paxos.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/codec.hpp"
+
+namespace gcs {
+
+namespace {
+constexpr std::uint8_t kPrepare = 0;
+constexpr std::uint8_t kPromise = 1;
+constexpr std::uint8_t kAccept = 2;
+constexpr std::uint8_t kAccepted = 3;
+constexpr std::uint8_t kNack = 4;
+constexpr std::uint8_t kDecide = 5;
+constexpr std::uint8_t kAnnounce = 6;
+}  // namespace
+
+PaxosConsensus::PaxosConsensus(sim::Context& ctx, ReliableChannel& channel,
+                               FailureDetector& fd, FailureDetector::ClassId fd_class,
+                               Tag tag)
+    : ctx_(ctx), channel_(channel), fd_(fd), fd_class_(fd_class), tag_(tag) {
+  channel_.subscribe(tag_, [this](ProcessId from, const Bytes& b) { on_message(from, b); });
+  fd_.on_suspect(fd_class_, [this](ProcessId q) { on_fd_suspect(q); });
+}
+
+PaxosConsensus::Instance& PaxosConsensus::get_instance(
+    std::uint64_t k, const std::vector<ProcessId>* members_hint) {
+  auto it = instances_.find(k);
+  if (it == instances_.end()) {
+    Instance inst;
+    if (members_hint) inst.members = *members_hint;
+    inst.majority =
+        inst.members.empty() ? 0 : static_cast<int>(inst.members.size()) / 2 + 1;
+    it = instances_.emplace(k, std::move(inst)).first;
+  } else if (it->second.members.empty() && members_hint) {
+    it->second.members = *members_hint;
+    it->second.majority = static_cast<int>(members_hint->size()) / 2 + 1;
+  }
+  return it->second;
+}
+
+void PaxosConsensus::propose(std::uint64_t k, Bytes value, std::vector<ProcessId> members) {
+  assert(!members.empty());
+  if (auto it = decisions_.find(k); it != decisions_.end()) {
+    for (const auto& fn : decide_fns_) fn(k, it->second);
+    return;
+  }
+  Instance& inst = get_instance(k, &members);
+  if (inst.started || inst.decided) return;
+  inst.started = true;
+  inst.my_value = std::move(value);
+  ctx_.metrics().inc("paxos.instances_started");
+  fd_.monitor_group(fd_class_, inst.members);
+  // Pull passive members in (they must at least act as acceptors with the
+  // member set known, and as takeover candidates).
+  Encoder announce;
+  announce.put_byte(kAnnounce);
+  announce.put_u64(k);
+  announce.put_vector(inst.members, [](Encoder& e, ProcessId p) { e.put_i32(p); });
+  announce.put_bytes(inst.my_value);
+  for (ProcessId p : inst.members) {
+    if (p != ctx_.self()) channel_.send(p, tag_, announce.bytes());
+  }
+  // Ballot 0's owner drives first; everyone else waits on the FD.
+  if (inst.owner(0) == ctx_.self()) {
+    start_ballot(k, inst, 0);
+  } else if (fd_.suspects(fd_class_, inst.owner(0))) {
+    maybe_take_over(k, inst);
+  }
+}
+
+void PaxosConsensus::start_ballot(std::uint64_t k, Instance& inst, std::int64_t ballot) {
+  if (inst.decided) return;
+  auto& attempt = inst.attempts[ballot];
+  if (attempt.preparing || attempt.accepting) return;
+  attempt.preparing = true;
+  attempt.value = inst.my_value;
+  inst.max_ballot_seen = std::max(inst.max_ballot_seen, ballot);
+  ctx_.metrics().inc("paxos.ballots_started");
+  Encoder enc;
+  enc.put_byte(kPrepare);
+  enc.put_u64(k);
+  enc.put_i64(ballot);
+  channel_.send_group(inst.members, tag_, enc.bytes());
+}
+
+void PaxosConsensus::maybe_take_over(std::uint64_t k, Instance& inst) {
+  if (inst.decided || !inst.started || inst.members.empty()) return;
+  const std::int64_t current = std::max<std::int64_t>(0, inst.max_ballot_seen);
+  if (!fd_.suspects(fd_class_, inst.owner(current))) return;
+  const std::int64_t mine = inst.next_owned_ballot(ctx_.self(), current);
+  // Small delay bounds ballot churn and lets heartbeats revoke mistakes.
+  ctx_.after(msec(1), [this, k, mine] {
+    auto it = instances_.find(k);
+    if (it == instances_.end()) return;
+    Instance& i = it->second;
+    if (i.decided || !i.started) return;
+    const std::int64_t cur = std::max<std::int64_t>(0, i.max_ballot_seen);
+    if (mine <= cur) return;  // someone else moved on already
+    if (!fd_.suspects(fd_class_, i.owner(cur))) return;
+    start_ballot(k, i, mine);
+  });
+}
+
+void PaxosConsensus::on_fd_suspect(ProcessId q) {
+  std::vector<std::uint64_t> candidates;
+  for (auto& [k, inst] : instances_) {
+    if (inst.started && !inst.decided && !inst.members.empty() &&
+        inst.owner(std::max<std::int64_t>(0, inst.max_ballot_seen)) == q) {
+      candidates.push_back(k);
+    }
+  }
+  for (std::uint64_t k : candidates) {
+    auto it = instances_.find(k);
+    if (it != instances_.end()) maybe_take_over(k, it->second);
+  }
+}
+
+void PaxosConsensus::on_message(ProcessId from, const Bytes& payload) {
+  Decoder dec(payload);
+  const std::uint8_t kind = dec.get_byte();
+  const std::uint64_t k = dec.get_u64();
+  switch (kind) {
+    case kPrepare: {
+      const std::int64_t b = dec.get_i64();
+      if (dec.ok()) handle_prepare(from, k, b);
+      break;
+    }
+    case kPromise: {
+      const std::int64_t b = dec.get_i64();
+      const std::int64_t ab = dec.get_i64();
+      Bytes av = dec.get_bytes();
+      if (dec.ok()) handle_promise(from, k, b, ab, std::move(av));
+      break;
+    }
+    case kAccept: {
+      const std::int64_t b = dec.get_i64();
+      Bytes v = dec.get_bytes();
+      if (dec.ok()) handle_accept(from, k, b, std::move(v));
+      break;
+    }
+    case kAccepted: {
+      const std::int64_t b = dec.get_i64();
+      if (dec.ok()) handle_accepted(from, k, b);
+      break;
+    }
+    case kNack: {
+      const std::int64_t b_high = dec.get_i64();
+      if (dec.ok()) handle_nack(k, b_high);
+      break;
+    }
+    case kDecide: {
+      Bytes v = dec.get_bytes();
+      if (dec.ok()) handle_decide(k, std::move(v));
+      break;
+    }
+    case kAnnounce: {
+      auto members = dec.get_vector<ProcessId>([](Decoder& d) { return d.get_i32(); });
+      Bytes v = dec.get_bytes();
+      if (!dec.ok() || decisions_.count(k)) break;
+      Instance& inst = get_instance(k, &members);
+      if (!inst.started && !inst.decided) propose(k, std::move(v), std::move(members));
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void PaxosConsensus::handle_prepare(ProcessId from, std::uint64_t k, std::int64_t b) {
+  if (decisions_.count(k)) return;
+  Instance& inst = get_instance(k, nullptr);
+  if (inst.decided) return;
+  inst.max_ballot_seen = std::max(inst.max_ballot_seen, b);
+  Encoder enc;
+  if (b >= inst.promised) {
+    inst.promised = b;
+    enc.put_byte(kPromise);
+    enc.put_u64(k);
+    enc.put_i64(b);
+    enc.put_i64(inst.accepted_ballot);
+    enc.put_bytes(inst.accepted_value);
+  } else {
+    enc.put_byte(kNack);
+    enc.put_u64(k);
+    enc.put_i64(inst.promised);
+  }
+  channel_.send(from, tag_, enc.take());
+}
+
+void PaxosConsensus::handle_promise(ProcessId /*from*/, std::uint64_t k, std::int64_t b,
+                                    std::int64_t ab, Bytes av) {
+  if (decisions_.count(k)) return;
+  Instance& inst = get_instance(k, nullptr);
+  if (inst.decided || inst.members.empty()) return;
+  auto ait = inst.attempts.find(b);
+  if (ait == inst.attempts.end() || !ait->second.preparing || ait->second.accepting) return;
+  auto& attempt = ait->second;
+  ++attempt.promises;
+  if (ab > attempt.best_accepted_ballot) {
+    attempt.best_accepted_ballot = ab;
+    attempt.best_accepted_value = std::move(av);
+  }
+  if (attempt.promises < inst.majority) return;
+  attempt.accepting = true;
+  // The Paxos invariant: adopt the highest-ballot accepted value seen.
+  const Bytes& chosen = attempt.best_accepted_ballot >= 0 ? attempt.best_accepted_value
+                                                          : attempt.value;
+  Encoder enc;
+  enc.put_byte(kAccept);
+  enc.put_u64(k);
+  enc.put_i64(b);
+  enc.put_bytes(chosen);
+  channel_.send_group(inst.members, tag_, enc.bytes());
+}
+
+void PaxosConsensus::handle_accept(ProcessId from, std::uint64_t k, std::int64_t b, Bytes v) {
+  if (decisions_.count(k)) return;
+  Instance& inst = get_instance(k, nullptr);
+  if (inst.decided) return;
+  inst.max_ballot_seen = std::max(inst.max_ballot_seen, b);
+  Encoder enc;
+  if (b >= inst.promised) {
+    inst.promised = b;
+    inst.accepted_ballot = b;
+    inst.accepted_value = std::move(v);
+    enc.put_byte(kAccepted);
+    enc.put_u64(k);
+    enc.put_i64(b);
+  } else {
+    enc.put_byte(kNack);
+    enc.put_u64(k);
+    enc.put_i64(inst.promised);
+  }
+  channel_.send(from, tag_, enc.take());
+}
+
+void PaxosConsensus::handle_accepted(ProcessId /*from*/, std::uint64_t k, std::int64_t b) {
+  if (decisions_.count(k)) return;
+  Instance& inst = get_instance(k, nullptr);
+  if (inst.decided || inst.members.empty()) return;
+  auto ait = inst.attempts.find(b);
+  if (ait == inst.attempts.end() || !ait->second.accepting) return;
+  if (++ait->second.accepteds < inst.majority) return;
+  inst.decided = true;
+  // The accepted value of this ballot is what we sent in ACCEPT.
+  const Bytes chosen = ait->second.best_accepted_ballot >= 0
+                           ? ait->second.best_accepted_value
+                           : ait->second.value;
+  Encoder enc;
+  enc.put_byte(kDecide);
+  enc.put_u64(k);
+  enc.put_bytes(chosen);
+  channel_.send_group(inst.members, tag_, enc.bytes());
+}
+
+void PaxosConsensus::handle_nack(std::uint64_t k, std::int64_t b_high) {
+  if (decisions_.count(k)) return;
+  Instance& inst = get_instance(k, nullptr);
+  if (inst.decided) return;
+  // Someone promised a higher ballot: abandon lower attempts; the FD path
+  // decides whether we should take over later.
+  inst.max_ballot_seen = std::max(inst.max_ballot_seen, b_high);
+  for (auto& [ballot, attempt] : inst.attempts) {
+    if (ballot < b_high) {
+      attempt.preparing = false;
+      attempt.accepting = false;
+    }
+  }
+  maybe_take_over(k, inst);
+}
+
+void PaxosConsensus::handle_decide(std::uint64_t k, Bytes value) {
+  if (decisions_.count(k)) return;
+  decisions_.emplace(k, value);
+  ++decided_count_;
+  ctx_.metrics().inc("paxos.decided");
+  auto it = instances_.find(k);
+  if (it != instances_.end()) {
+    if (!it->second.decided && !it->second.members.empty()) {
+      Encoder enc;
+      enc.put_byte(kDecide);
+      enc.put_u64(k);
+      enc.put_bytes(value);
+      channel_.send_group(it->second.members, tag_, enc.bytes());
+    }
+    instances_.erase(it);
+  }
+  for (const auto& fn : decide_fns_) fn(k, value);
+}
+
+void PaxosConsensus::forget_below(std::uint64_t k) {
+  for (auto it = decisions_.begin(); it != decisions_.end();) {
+    it = (it->first < k) ? decisions_.erase(it) : ++it;
+  }
+}
+
+}  // namespace gcs

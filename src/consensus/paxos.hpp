@@ -1,0 +1,108 @@
+/// \file paxos.hpp
+/// Classic single-decree Paxos, one instance per consensus (multi-instance
+/// manager like consensus.hpp).
+///
+/// The alternative bottom layer proving the architecture's point: any
+/// uniform consensus tolerating false suspicions slots under the same
+/// atomic broadcast. Ballot b is owned by members[b mod n]; processes
+/// monitor the current ballot owner with the ◇S failure-detector class and
+/// take over with their next-owned ballot on suspicion — the standard
+/// Paxos liveness recipe (safety never depends on the FD).
+///
+/// Per ballot, the owner runs:
+///   phase 1  PREPARE(b) to all; acceptors with promised <= b reply
+///            PROMISE(b, accepted_ballot, accepted_value), else NACK(b).
+///   phase 2  on a majority of PROMISEs: value := highest-ballot accepted
+///            value among them (or the owner's proposal); ACCEPT(b, value);
+///            acceptors with promised <= b record (b, value), reply
+///            ACCEPTED(b); on a majority of ACCEPTEDs the owner DECIDEs.
+/// DECIDE is sent to all members over the reliable channel.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "channel/reliable_channel.hpp"
+#include "consensus/consensus_protocol.hpp"
+#include "fd/failure_detector.hpp"
+#include "sim/context.hpp"
+
+namespace gcs {
+
+class PaxosConsensus final : public ConsensusProtocol {
+ public:
+  PaxosConsensus(sim::Context& ctx, ReliableChannel& channel, FailureDetector& fd,
+                 FailureDetector::ClassId fd_class, Tag tag = Tag::kConsensus);
+
+  void propose(std::uint64_t k, Bytes value, std::vector<ProcessId> members) override;
+  void on_decide(DecideFn fn) override { decide_fns_.push_back(std::move(fn)); }
+  bool decided(std::uint64_t k) const override { return decisions_.count(k) != 0; }
+  std::int64_t instances_decided() const override { return decided_count_; }
+  void forget_below(std::uint64_t k) override;
+
+ private:
+  struct Instance {
+    std::vector<ProcessId> members;
+    int majority = 0;
+    bool started = false;
+    bool decided = false;
+    Bytes my_value;
+
+    // Acceptor state.
+    std::int64_t promised = -1;
+    std::int64_t accepted_ballot = -1;
+    Bytes accepted_value;
+
+    // Proposer (ballot owner) state, per ballot.
+    struct Attempt {
+      bool preparing = false;
+      bool accepting = false;
+      int promises = 0;
+      int accepteds = 0;
+      std::int64_t best_accepted_ballot = -1;
+      Bytes best_accepted_value;
+      Bytes value;
+    };
+    std::map<std::int64_t, Attempt> attempts;
+
+    // The highest ballot we have observed anyone drive.
+    std::int64_t max_ballot_seen = -1;
+
+    ProcessId owner(std::int64_t ballot) const {
+      return members[static_cast<std::size_t>(ballot) % members.size()];
+    }
+    /// Smallest ballot > from owned by \p self.
+    std::int64_t next_owned_ballot(ProcessId self, std::int64_t from) const {
+      for (std::int64_t b = from + 1;; ++b) {
+        if (owner(b) == self) return b;
+      }
+    }
+  };
+
+  void on_message(ProcessId from, const Bytes& payload);
+  void start_ballot(std::uint64_t k, Instance& inst, std::int64_t ballot);
+  void maybe_take_over(std::uint64_t k, Instance& inst);
+  void handle_prepare(ProcessId from, std::uint64_t k, std::int64_t b);
+  void handle_promise(ProcessId from, std::uint64_t k, std::int64_t b, std::int64_t ab,
+                      Bytes av);
+  void handle_accept(ProcessId from, std::uint64_t k, std::int64_t b, Bytes v);
+  void handle_accepted(ProcessId from, std::uint64_t k, std::int64_t b);
+  void handle_nack(std::uint64_t k, std::int64_t b_high);
+  void handle_decide(std::uint64_t k, Bytes value);
+  void on_fd_suspect(ProcessId q);
+  Instance& get_instance(std::uint64_t k, const std::vector<ProcessId>* members_hint);
+
+  sim::Context& ctx_;
+  ReliableChannel& channel_;
+  FailureDetector& fd_;
+  FailureDetector::ClassId fd_class_;
+  Tag tag_;
+  std::unordered_map<std::uint64_t, Instance> instances_;
+  std::unordered_map<std::uint64_t, Bytes> decisions_;
+  std::vector<DecideFn> decide_fns_;
+  std::int64_t decided_count_ = 0;
+};
+
+}  // namespace gcs

@@ -1,0 +1,84 @@
+/// \file conflict.hpp
+/// Message conflict relations for generic broadcast (paper §3.2.1).
+///
+/// Generic broadcast orders two messages iff their classes *conflict*. The
+/// relation is supplied by the application; the paper gives two canonical
+/// instances, reproduced here as presets:
+///
+///   §3.2.3 (passive replication)          §3.3 (full architecture)
+///             update  primary-change                  rbcast  abcast
+///   update      -         X                 rbcast      -       X
+///   primary-ch  X         X                 abcast      X       X
+///
+/// Both are the same shape: class 0 does not conflict with itself, class 1
+/// conflicts with everything.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gcs {
+
+/// Application-visible message class carried by every gbcast message.
+using MsgClass = std::uint8_t;
+
+class ConflictRelation {
+ public:
+  /// \p num_classes classes, initially nothing conflicts.
+  explicit ConflictRelation(int num_classes = 2)
+      : n_(num_classes), matrix_(static_cast<std::size_t>(num_classes) *
+                                     static_cast<std::size_t>(num_classes),
+                                 0) {}
+
+  /// Declare (symmetric) conflict between classes \p a and \p b.
+  ConflictRelation& set_conflict(MsgClass a, MsgClass b, bool conflict = true) {
+    at(a, b) = conflict;
+    at(b, a) = conflict;
+    return *this;
+  }
+
+  bool conflicts(MsgClass a, MsgClass b) const {
+    if (a >= n_ || b >= n_) return true;  // unknown classes: be conservative
+    return matrix_[static_cast<std::size_t>(a) * static_cast<std::size_t>(n_) + b] != 0;
+  }
+
+  int num_classes() const { return n_; }
+
+  /// Every pair conflicts: gbcast degenerates to atomic broadcast.
+  static ConflictRelation all_conflict(int num_classes = 2) {
+    ConflictRelation r(num_classes);
+    for (int a = 0; a < num_classes; ++a)
+      for (int b = 0; b < num_classes; ++b) r.set_conflict(static_cast<MsgClass>(a), static_cast<MsgClass>(b));
+    return r;
+  }
+
+  /// No pair conflicts: gbcast degenerates to reliable broadcast.
+  static ConflictRelation none_conflict(int num_classes = 2) {
+    return ConflictRelation(num_classes);
+  }
+
+  /// Paper §3.3 table. Class kRbcastClass = "rbcast", kAbcastClass = "abcast".
+  static ConflictRelation rbcast_abcast() {
+    ConflictRelation r(2);
+    r.set_conflict(1, 1);
+    r.set_conflict(0, 1);
+    return r;
+  }
+
+  /// Paper §3.2.3 table. Class kUpdate = "update", kPrimaryChange.
+  static ConflictRelation update_primary_change() { return rbcast_abcast(); }
+
+ private:
+  char& at(MsgClass a, MsgClass b) {
+    return matrix_[static_cast<std::size_t>(a) * static_cast<std::size_t>(n_) + b];
+  }
+
+  int n_;
+  std::vector<char> matrix_;
+};
+
+/// Conventional class names for the presets above.
+inline constexpr MsgClass kRbcastClass = 0;  ///< "rbcast" / "update": commutes with itself
+inline constexpr MsgClass kAbcastClass = 1;  ///< "abcast" / "primary-change": total order
+
+}  // namespace gcs

@@ -1,0 +1,323 @@
+#include "core/generic_broadcast.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/codec.hpp"
+
+namespace gcs {
+
+GenericBroadcast::GenericBroadcast(sim::Context& ctx, ReliableChannel& channel,
+                                   ReliableBroadcast& rbcast, AtomicBroadcast& abcast,
+                                   ConflictRelation relation)
+    : GenericBroadcast(ctx, channel, rbcast, abcast, std::move(relation), Config{}) {}
+
+GenericBroadcast::GenericBroadcast(sim::Context& ctx, ReliableChannel& channel,
+                                   ReliableBroadcast& rbcast, AtomicBroadcast& abcast,
+                                   ConflictRelation relation, Config config)
+    : ctx_(ctx), channel_(channel), rbcast_(rbcast), abcast_(abcast),
+      relation_(std::move(relation)), config_(config) {
+  rbcast_.on_deliver([this](const MsgId& id, const Bytes& b) { on_gb_data(id, b); });
+  channel_.subscribe(Tag::kGbcast, [this](ProcessId from, const Bytes& b) { on_ack(from, b); });
+  abcast_.subscribe(AtomicBroadcast::kGbResolve,
+                    [this](const MsgId& id, const Bytes& b) { on_report(id, b); });
+}
+
+void GenericBroadcast::set_group(std::vector<ProcessId> group) {
+  group_ = std::move(group);
+  rbcast_.set_group(group_);
+  // Quorums changed: a pending resolution may now be satisfiable (e.g. a
+  // crashed member was excluded, shrinking report_need).
+  maybe_finalize_round();
+}
+
+bool GenericBroadcast::is_member() const {
+  return std::find(group_.begin(), group_.end(), ctx_.self()) != group_.end();
+}
+
+int GenericBroadcast::fast_quorum() const {
+  if (config_.unsafe_fast_quorum_override > 0) return config_.unsafe_fast_quorum_override;
+  const int n = static_cast<int>(group_.size());
+  return 2 * n / 3 + 1;
+}
+
+int GenericBroadcast::report_need() const {
+  const int n = static_cast<int>(group_.size());
+  return n - (n - 1) / 3;
+}
+
+int GenericBroadcast::tau() const {
+  const int n = static_cast<int>(group_.size());
+  const int t = fast_quorum() - (n - 1) / 3;
+  return t < 1 ? 1 : t;
+}
+
+MsgId GenericBroadcast::gbcast(MsgClass cls, Bytes payload) {
+  Encoder enc;
+  enc.put_byte(cls);
+  enc.put_bytes(payload);
+  ctx_.metrics().inc("gbcast.broadcasts");
+  return rbcast_.broadcast(enc.take());
+}
+
+void GenericBroadcast::on_gb_data(const MsgId& id, const Bytes& wire) {
+  if (delivered_.count(id) || store_.count(id)) return;
+  Decoder dec(wire);
+  const MsgClass cls = dec.get_byte();
+  Bytes payload = dec.get_bytes();
+  if (!dec.ok()) return;
+  Stored stored{cls, std::move(payload), sim::kNoTimer};
+  stored.deadline = ctx_.after(config_.resolve_timeout, [this, id] {
+    if (!delivered_.count(id)) trigger_resolution();
+  });
+  store_.emplace(id, std::move(stored));
+  consider(id);
+  // An ACK quorum may have assembled before the payload arrived.
+  maybe_fast_deliver(id);
+}
+
+void GenericBroadcast::consider(const MsgId& id) {
+  if (!is_member() || frozen_ || delivered_.count(id)) return;
+  const auto it = store_.find(id);
+  if (it == store_.end()) return;
+  // Conflict check against everything we ACKed this round (fast-delivered
+  // messages stay in acked_: ACK sets of conflicting messages must be
+  // disjoint for the quorum-intersection argument to hold).
+  for (const MsgId& other : acked_) {
+    const auto oit = store_.find(other);
+    if (oit == store_.end()) continue;
+    if (relation_.conflicts(it->second.cls, oit->second.cls)) {
+      trigger_resolution();
+      return;
+    }
+  }
+  acked_.insert(id);
+  Encoder enc;
+  enc.put_u64(round_);
+  enc.put_msgid(id);
+  channel_.send_group(group_, Tag::kGbcast, enc.bytes());
+}
+
+void GenericBroadcast::on_ack(ProcessId from, const Bytes& wire) {
+  Decoder dec(wire);
+  const std::uint64_t r = dec.get_u64();
+  const MsgId id = dec.get_msgid();
+  if (!dec.ok() || r < round_) return;  // stale round
+  if (delivered_.count(id)) return;
+  acks_[r][id].insert(from);
+  if (r == round_) maybe_fast_deliver(id);
+}
+
+void GenericBroadcast::maybe_fast_deliver(const MsgId& id) {
+  if (delivered_.count(id)) return;
+  const auto rit = acks_.find(round_);
+  if (rit == acks_.end()) return;
+  const auto ait = rit->second.find(id);
+  if (ait == rit->second.end() ||
+      static_cast<int>(ait->second.size()) < fast_quorum()) {
+    return;
+  }
+  const auto sit = store_.find(id);
+  if (sit == store_.end()) return;  // payload not here yet
+  ++fast_deliveries_;
+  ctx_.metrics().inc("gbcast.fast_delivered");
+  deliver(id, sit->second.cls, sit->second.payload, /*fast=*/true);
+}
+
+void GenericBroadcast::deliver(const MsgId& id, MsgClass cls, const Bytes& payload,
+                               bool fast) {
+  if (!delivered_.insert(id).second) return;
+  if (!fast) {
+    ++resolved_deliveries_;
+    ctx_.metrics().inc("gbcast.resolved_delivered");
+  }
+  auto it = store_.find(id);
+  if (it != store_.end() && it->second.deadline != sim::kNoTimer) {
+    ctx_.cancel(it->second.deadline);
+    it->second.deadline = sim::kNoTimer;
+  }
+  for (const auto& fn : deliver_fns_) fn(id, cls, payload);
+}
+
+void GenericBroadcast::trigger_resolution() {
+  if (resolving_ || !is_member()) return;
+  resolving_ = true;
+  frozen_ = true;
+  ctx_.metrics().inc("gbcast.resolutions_triggered");
+  // Report = snapshot of our round: every message we know (payload
+  // included) plus whether we ACKed it.
+  Encoder enc;
+  enc.put_u64(round_);
+  enc.put_u64(store_.size());
+  for (const auto& [id, stored] : store_) {
+    enc.put_msgid(id);
+    enc.put_byte(stored.cls);
+    enc.put_bytes(stored.payload);
+    enc.put_bool(acked_.count(id) != 0);
+  }
+  abcast_.abcast(AtomicBroadcast::kGbResolve, enc.take());
+}
+
+void GenericBroadcast::on_report(const MsgId& report_id, const Bytes& wire) {
+  Decoder dec(wire);
+  const std::uint64_t r = dec.get_u64();
+  if (!dec.ok() || r != round_) return;  // late report from a finished round
+  const ProcessId reporter = report_id.sender;
+  if (!reporters_.insert(reporter).second) return;  // one report per member
+  const std::uint64_t count = dec.get_u64();
+  for (std::uint64_t i = 0; i < count && dec.ok(); ++i) {
+    const MsgId id = dec.get_msgid();
+    const MsgClass cls = dec.get_byte();
+    Bytes payload = dec.get_bytes();
+    const bool acked = dec.get_bool();
+    if (!dec.ok()) break;
+    if (acked) ++report_ack_counts_[id];
+    report_union_.emplace(id, std::make_pair(cls, std::move(payload)));
+  }
+  // A report commits everyone to this round's resolution: contribute ours.
+  if (!resolving_) trigger_resolution();
+  maybe_finalize_round();
+}
+
+void GenericBroadcast::maybe_finalize_round() {
+  if (reporters_.empty()) return;
+  if (static_cast<int>(reporters_.size()) < report_need()) return;
+  // Deterministic: every member sees the same adelivered report prefix and
+  // the same group (view changes are adelivered too), so first/second are
+  // identical everywhere.
+  std::vector<MsgId> first;
+  std::vector<MsgId> second;
+  for (const auto& [id, entry] : report_union_) {
+    (void)entry;
+    const auto cit = report_ack_counts_.find(id);
+    const int ack_count = cit == report_ack_counts_.end() ? 0 : cit->second;
+    if (ack_count >= tau()) {
+      first.push_back(id);
+    } else {
+      second.push_back(id);
+    }
+  }
+  // std::map iteration is MsgId-ordered already; keep the sort explicit.
+  std::sort(first.begin(), first.end());
+  std::sort(second.begin(), second.end());
+  for (const MsgId& id : first) {
+    const auto& [cls, payload] = report_union_.at(id);
+    deliver(id, cls, payload, /*fast=*/false);
+  }
+  for (const MsgId& id : second) {
+    const auto& [cls, payload] = report_union_.at(id);
+    deliver(id, cls, payload, /*fast=*/false);
+  }
+  ++rounds_resolved_;
+  ctx_.metrics().inc("gbcast.rounds_resolved");
+  start_new_round();
+}
+
+Bytes GenericBroadcast::snapshot() const {
+  Encoder enc;
+  enc.put_u64(round_);
+  enc.put_u64(reporters_.size());
+  for (ProcessId p : reporters_) enc.put_i32(p);
+  enc.put_u64(report_ack_counts_.size());
+  for (const auto& [id, count] : report_ack_counts_) {
+    enc.put_msgid(id);
+    enc.put_i32(count);
+  }
+  enc.put_u64(report_union_.size());
+  for (const auto& [id, entry] : report_union_) {
+    enc.put_msgid(id);
+    enc.put_byte(entry.first);
+    enc.put_bytes(entry.second);
+  }
+  enc.put_u64(delivered_.size());
+  for (const MsgId& id : delivered_) enc.put_msgid(id);
+  enc.put_u64(store_.size());
+  for (const auto& [id, stored] : store_) {
+    enc.put_msgid(id);
+    enc.put_byte(stored.cls);
+    enc.put_bytes(stored.payload);
+  }
+  return enc.take();
+}
+
+void GenericBroadcast::restore(const Bytes& snapshot) {
+  Decoder dec(snapshot);
+  round_ = dec.get_u64();
+  reporters_.clear();
+  const std::uint64_t n_rep = dec.get_u64();
+  for (std::uint64_t i = 0; i < n_rep && dec.ok(); ++i) reporters_.insert(dec.get_i32());
+  report_ack_counts_.clear();
+  const std::uint64_t n_counts = dec.get_u64();
+  for (std::uint64_t i = 0; i < n_counts && dec.ok(); ++i) {
+    const MsgId id = dec.get_msgid();
+    report_ack_counts_[id] = dec.get_i32();
+  }
+  report_union_.clear();
+  const std::uint64_t n_union = dec.get_u64();
+  for (std::uint64_t i = 0; i < n_union && dec.ok(); ++i) {
+    const MsgId id = dec.get_msgid();
+    const MsgClass cls = dec.get_byte();
+    report_union_[id] = std::make_pair(cls, dec.get_bytes());
+  }
+  delivered_.clear();
+  const std::uint64_t n_del = dec.get_u64();
+  for (std::uint64_t i = 0; i < n_del && dec.ok(); ++i) delivered_.insert(dec.get_msgid());
+  for (auto& [id, stored] : store_) {
+    if (stored.deadline != sim::kNoTimer) ctx_.cancel(stored.deadline);
+    (void)id;
+  }
+  store_.clear();
+  const std::uint64_t n_store = dec.get_u64();
+  for (std::uint64_t i = 0; i < n_store && dec.ok(); ++i) {
+    const MsgId id = dec.get_msgid();
+    Stored stored;
+    stored.cls = dec.get_byte();
+    stored.payload = dec.get_bytes();
+    stored.deadline = ctx_.after(config_.resolve_timeout, [this, id] {
+      if (!delivered_.count(id)) trigger_resolution();
+    });
+    store_.emplace(id, std::move(stored));
+  }
+  frozen_ = false;
+  resolving_ = false;
+  acked_.clear();
+  acks_.clear();
+  // We may be the report that completes the quorum count after a member was
+  // excluded; harmless otherwise.
+  maybe_finalize_round();
+}
+
+void GenericBroadcast::start_new_round() {
+  ++round_;
+  frozen_ = false;
+  resolving_ = false;
+  acked_.clear();
+  reporters_.clear();
+  report_ack_counts_.clear();
+  report_union_.clear();
+  // Drop ACK bookkeeping for finished rounds.
+  acks_.erase(acks_.begin(), acks_.lower_bound(round_));
+  // Carry undelivered messages into the new round: drop delivered entries,
+  // re-ACK (or re-trigger) the survivors and restart their deadlines.
+  std::vector<MsgId> carried;
+  for (auto it = store_.begin(); it != store_.end();) {
+    if (delivered_.count(it->first)) {
+      if (it->second.deadline != sim::kNoTimer) ctx_.cancel(it->second.deadline);
+      it = store_.erase(it);
+    } else {
+      carried.push_back(it->first);
+      ++it;
+    }
+  }
+  for (const MsgId& id : carried) {
+    auto& stored = store_.at(id);
+    if (stored.deadline != sim::kNoTimer) ctx_.cancel(stored.deadline);
+    stored.deadline = ctx_.after(config_.resolve_timeout, [this, id] {
+      if (!delivered_.count(id)) trigger_resolution();
+    });
+    consider(id);
+    maybe_fast_deliver(id);
+  }
+}
+
+}  // namespace gcs

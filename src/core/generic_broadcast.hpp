@@ -1,0 +1,163 @@
+/// \file generic_broadcast.hpp
+/// Thrifty generic broadcast (paper §3.2, [Pedone & Schiper DISC'99],
+/// [Aguilera et al. DISC'00]).
+///
+/// Semantics: all group members deliver every gbcast message; two messages
+/// whose classes CONFLICT (per the ConflictRelation) are delivered in the
+/// same relative order everywhere; non-conflicting messages are unordered.
+///
+/// Thrifty implementation, round-based:
+///
+///   Fast path (no conflict observed): a message is flooded (reliable
+///   broadcast) and every member that sees no conflict with what it already
+///   acknowledged sends an ACK to the group. A message is gdelivered as
+///   soon as ⌈2n/3⌉+ ACKs for it are seen — two communication steps and no
+///   consensus. Because a member never ACKs two conflicting messages in the
+///   same round, two conflicting messages can never both reach the fast
+///   quorum.
+///
+///   Resolution path (conflict observed, or a message lingers past a
+///   timeout): members freeze their ACK sets and *atomically broadcast* a
+///   report (their acked + seen messages, payloads included). Reports are
+///   totally ordered by the atomic broadcast below (Fig 7/9: generic
+///   broadcast uses atomic broadcast only when conflicts occur — the
+///   "thrifty" property). When the first n−f reports of the round have been
+///   adelivered, every member deterministically computes:
+///      first  = messages acked in ≥ (fast_quorum − f) of those reports
+///               — a superset of everything that may have been
+///               fast-delivered anywhere;
+///      second = all other reported messages.
+///   and delivers first, then second (each in MsgId order), skipping what
+///   it already delivered. The round then ends and a new round starts.
+///
+/// Quorum arithmetic (n = |group|, f = ⌊(n−1)/3⌋):
+///   fast_quorum  = ⌊2n/3⌋ + 1     (> 2n/3)
+///   report_need  = n − f
+///   tau          = fast_quorum − f
+/// guarantees: (a) a fast-delivered message appears acked in ≥ tau of any
+/// n−f reports; (b) a message conflicting with a fast-delivered one appears
+/// in < tau (ACK sets of conflicting messages are disjoint); (c) two
+/// conflicting messages cannot both reach tau. Requires n ≥ 4 for f ≥ 1
+/// fault tolerance on the GB fast path (consensus below still tolerates
+/// f < n/2).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "broadcast/atomic_broadcast.hpp"
+#include "broadcast/reliable_broadcast.hpp"
+#include "channel/reliable_channel.hpp"
+#include "core/conflict.hpp"
+#include "sim/context.hpp"
+
+namespace gcs {
+
+class GenericBroadcast {
+ public:
+  using DeliverFn =
+      std::function<void(const MsgId& id, MsgClass cls, const Bytes& payload)>;
+
+  struct Config {
+    /// A message not gdelivered within this bound triggers resolution even
+    /// without an observed conflict (liveness when ackers crash).
+    Duration resolve_timeout = msec(200);
+    /// TESTING/ABLATION ONLY: override the fast quorum size. Values at or
+    /// below 2n/3 BREAK the safety argument (two conflicting messages can
+    /// both gather a quorum); bench_e8 demonstrates exactly that. 0 = use
+    /// the correct formula.
+    int unsafe_fast_quorum_override = 0;
+  };
+
+  GenericBroadcast(sim::Context& ctx, ReliableChannel& channel, ReliableBroadcast& rbcast,
+                   AtomicBroadcast& abcast, ConflictRelation relation, Config config);
+  GenericBroadcast(sim::Context& ctx, ReliableChannel& channel, ReliableBroadcast& rbcast,
+                   AtomicBroadcast& abcast, ConflictRelation relation);
+
+  /// The delivering group; must track the membership's current view.
+  void set_group(std::vector<ProcessId> group);
+  const std::vector<ProcessId>& group() const { return group_; }
+
+  /// Generic-broadcast \p payload with class \p cls.
+  MsgId gbcast(MsgClass cls, Bytes payload);
+
+  /// Convenience mapping per the paper's Fig 9 operations (§3.3 table).
+  MsgId rbcast_op(Bytes payload) { return gbcast(kRbcastClass, std::move(payload)); }
+  MsgId abcast_op(Bytes payload) { return gbcast(kAbcastClass, std::move(payload)); }
+
+  void on_deliver(DeliverFn fn) { deliver_fns_.push_back(std::move(fn)); }
+
+  const ConflictRelation& relation() const { return relation_; }
+
+  /// Serialize the generic-broadcast state a joiner needs: round number,
+  /// resolution progress (which is a pure function of the adelivered prefix
+  /// and hence identical at every member at a view-change point), delivered
+  /// ids, and the payload cache of seen-but-undelivered messages.
+  Bytes snapshot() const;
+
+  /// Install a snapshot (joiner side).
+  void restore(const Bytes& snapshot);
+
+  /// -- statistics (E3/E6 use these) ------------------------------------
+  std::uint64_t fast_deliveries() const { return fast_deliveries_; }
+  std::uint64_t resolved_deliveries() const { return resolved_deliveries_; }
+  std::uint64_t rounds_resolved() const { return rounds_resolved_; }
+  std::uint64_t current_round() const { return round_; }
+
+ private:
+  struct Stored {
+    MsgClass cls;
+    Bytes payload;
+    sim::TimerId deadline = sim::kNoTimer;
+  };
+
+  bool is_member() const;
+  void on_gb_data(const MsgId& id, const Bytes& wire);
+  void consider(const MsgId& id);  // ack or trigger resolution
+  void on_ack(ProcessId from, const Bytes& wire);
+  void maybe_fast_deliver(const MsgId& id);
+  void trigger_resolution();
+  void on_report(const MsgId& report_id, const Bytes& wire);
+  void maybe_finalize_round();
+  void deliver(const MsgId& id, MsgClass cls, const Bytes& payload, bool fast);
+  void start_new_round();
+  int fast_quorum() const;
+  int report_need() const;
+  int tau() const;
+
+  sim::Context& ctx_;
+  ReliableChannel& channel_;
+  ReliableBroadcast& rbcast_;
+  AtomicBroadcast& abcast_;
+  ConflictRelation relation_;
+  Config config_;
+  std::vector<ProcessId> group_;
+
+  std::uint64_t round_ = 0;
+  bool frozen_ = false;     // report sent; no more ACKs this round
+  bool resolving_ = false;  // resolution in progress this round
+
+  // All-time state.
+  std::unordered_set<MsgId> delivered_;
+  // Messages seen (payload known) and possibly not yet delivered this round.
+  std::map<MsgId, Stored> store_;
+  // Messages we ACKed in the current round (fast-delivered ones included).
+  std::set<MsgId> acked_;
+  // ACK counts per round (current and future rounds only).
+  std::map<std::uint64_t, std::map<MsgId, std::set<ProcessId>>> acks_;
+  // Resolution state for the current round.
+  std::set<ProcessId> reporters_;
+  std::map<MsgId, int> report_ack_counts_;
+  std::map<MsgId, std::pair<MsgClass, Bytes>> report_union_;
+
+  std::vector<DeliverFn> deliver_fns_;
+  std::uint64_t fast_deliveries_ = 0;
+  std::uint64_t resolved_deliveries_ = 0;
+  std::uint64_t rounds_resolved_ = 0;
+};
+
+}  // namespace gcs

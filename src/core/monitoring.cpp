@@ -1,0 +1,115 @@
+#include "core/monitoring.hpp"
+
+#include "util/codec.hpp"
+
+namespace gcs {
+
+namespace {
+constexpr std::uint8_t kSuspect = 0;
+constexpr std::uint8_t kRestore = 1;
+}  // namespace
+
+Monitoring::Monitoring(sim::Context& ctx, ReliableChannel& channel, FailureDetector& fd,
+                       GroupMembership& membership)
+    : Monitoring(ctx, channel, fd, membership, Config{}) {}
+
+Monitoring::Monitoring(sim::Context& ctx, ReliableChannel& channel, FailureDetector& fd,
+                       GroupMembership& membership, Config config)
+    : ctx_(ctx), channel_(channel), fd_(fd), membership_(membership), config_(config),
+      fd_class_(fd.add_class(config.exclusion_timeout)) {
+  fd_.on_suspect(fd_class_, [this](ProcessId q) { on_long_suspect(q); });
+  fd_.on_restore(fd_class_, [this](ProcessId q) { on_long_restore(q); });
+  channel_.subscribe(Tag::kMonitoring,
+                     [this](ProcessId from, const Bytes& b) { on_gossip(from, b); });
+  membership_.on_view([this](const View& v) { on_view(v); });
+}
+
+void Monitoring::start() {
+  if (started_) return;
+  started_ = true;
+  fd_.monitor_group(fd_class_, membership_.view().members);
+  if (config_.output_age_limit > 0) {
+    ctx_.after(config_.output_check_interval, [this] { check_output_buffers(); });
+  }
+}
+
+void Monitoring::on_view(const View& v) {
+  // Track exactly the current co-members; forget votes about outsiders.
+  for (auto it = votes_.begin(); it != votes_.end();) {
+    it = v.contains(it->first) ? ++it : votes_.erase(it);
+  }
+  for (ProcessId q : monitored_) {
+    if (!v.contains(q)) fd_.unmonitor(fd_class_, q);
+  }
+  monitored_.assign(v.members.begin(), v.members.end());
+  if (!started_) return;
+  fd_.monitor_group(fd_class_, v.members);
+}
+
+void Monitoring::on_long_suspect(ProcessId q) {
+  if (!started_ || !membership_.is_member() || !membership_.view().contains(q)) return;
+  ctx_.metrics().inc("monitoring.long_suspicions");
+  add_vote(ctx_.self(), q);
+  if (config_.suspicion_threshold > 1) {
+    Encoder enc;
+    enc.put_byte(kSuspect);
+    enc.put_i32(q);
+    channel_.send_group(membership_.view().members, Tag::kMonitoring, enc.bytes());
+  }
+}
+
+void Monitoring::on_long_restore(ProcessId q) {
+  drop_vote(ctx_.self(), q);
+  if (config_.suspicion_threshold > 1 && membership_.is_member()) {
+    Encoder enc;
+    enc.put_byte(kRestore);
+    enc.put_i32(q);
+    channel_.send_group(membership_.view().members, Tag::kMonitoring, enc.bytes());
+  }
+}
+
+void Monitoring::on_gossip(ProcessId from, const Bytes& payload) {
+  Decoder dec(payload);
+  const std::uint8_t kind = dec.get_byte();
+  const ProcessId q = dec.get_i32();
+  if (!dec.ok()) return;
+  if (kind == kSuspect) {
+    add_vote(from, q);
+  } else if (kind == kRestore) {
+    drop_vote(from, q);
+  }
+}
+
+void Monitoring::add_vote(ProcessId voter, ProcessId q) {
+  if (!membership_.view().contains(q)) return;
+  auto& voters = votes_[q];
+  voters.insert(voter);
+  if (static_cast<int>(voters.size()) >= config_.suspicion_threshold) {
+    ctx_.metrics().inc("monitoring.exclusions_requested");
+    membership_.remove(q);
+  }
+}
+
+void Monitoring::drop_vote(ProcessId voter, ProcessId q) {
+  auto it = votes_.find(q);
+  if (it == votes_.end()) return;
+  it->second.erase(voter);
+  if (it->second.empty()) votes_.erase(it);
+}
+
+void Monitoring::check_output_buffers() {
+  if (membership_.is_member()) {
+    for (ProcessId q : membership_.view().members) {
+      if (q == ctx_.self()) continue;
+      if (channel_.oldest_unacked_age(q) > config_.output_age_limit) {
+        // Output-triggered suspicion: the buffered message can only be
+        // discarded by excluding q from the membership.
+        ctx_.metrics().inc("monitoring.output_triggered");
+        membership_.remove(q);
+      }
+    }
+  }
+  ctx_.after(config_.output_check_interval, [this] { check_output_buffers(); });
+}
+
+}  // namespace gcs

@@ -1,0 +1,102 @@
+#include "core/stack.hpp"
+
+namespace gcs {
+
+GcsStack::GcsStack(sim::Engine& engine, sim::Network& network, ProcessId self,
+                   std::uint64_t seed, StackConfig config)
+    : network_(&network) {
+  Rng rng(seed ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(self + 1)));
+  Logger log("p" + std::to_string(self), [&engine] { return engine.now(); });
+  ctx_ = std::make_unique<sim::Context>(self, engine, rng, log,
+                                        std::make_shared<Metrics>());
+  transport_ = std::make_unique<SimTransport>(*ctx_, network);
+  wire(config);
+}
+
+GcsStack::GcsStack(sim::Engine& engine, std::unique_ptr<Transport> transport,
+                   ProcessId self, std::uint64_t seed, StackConfig config)
+    : network_(nullptr) {
+  Rng rng(seed ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(self + 1)));
+  Logger log("p" + std::to_string(self), [&engine] { return engine.now(); });
+  ctx_ = std::make_unique<sim::Context>(self, engine, rng, log,
+                                        std::make_shared<Metrics>());
+  transport_ = std::move(transport);
+  wire(config);
+}
+
+void GcsStack::wire(StackConfig config) {
+  channel_ = std::make_unique<ReliableChannel>(*ctx_, *transport_, config.channel);
+  fd_ = std::make_unique<FailureDetector>(*ctx_, *transport_, config.fd);
+  consensus_fd_class_ = fd_->add_class(config.consensus_suspect_timeout);
+  if (config.consensus_algorithm == StackConfig::ConsensusAlgo::kPaxos) {
+    consensus_ = std::make_unique<PaxosConsensus>(*ctx_, *channel_, *fd_, consensus_fd_class_);
+  } else {
+    consensus_ = std::make_unique<Consensus>(*ctx_, *channel_, *fd_, consensus_fd_class_);
+  }
+  ab_rbcast_ = std::make_unique<ReliableBroadcast>(*ctx_, *channel_, Tag::kRbcast);
+  if (config.stability_interval > 0) {
+    ab_rbcast_->enable_stability(config.stability_interval);
+  }
+  abcast_ = std::make_unique<AtomicBroadcast>(*ctx_, *ab_rbcast_, *consensus_);
+  gb_rbcast_ = std::make_unique<ReliableBroadcast>(*ctx_, *channel_, Tag::kGbData);
+  gbcast_ = std::make_unique<GenericBroadcast>(*ctx_, *channel_, *gb_rbcast_, *abcast_,
+                                               config.conflict, config.gb);
+  cb_rbcast_ = std::make_unique<ReliableBroadcast>(*ctx_, *channel_, Tag::kCbcast);
+  cbcast_ = std::make_unique<CausalBroadcast>(*ctx_, *cb_rbcast_, transport_->universe_size());
+  membership_ = std::make_unique<GroupMembership>(*ctx_, *channel_, *abcast_, gbcast_.get());
+  monitoring_ = std::make_unique<Monitoring>(*ctx_, *channel_, *fd_, *membership_,
+                                             config.monitoring);
+
+  // Consensus suspects members with the aggressive class; keep the short
+  // class's monitored set in sync with the view.
+  membership_->on_view([this](const View& v) {
+    fd_->monitor_group(consensus_fd_class_, v.members);
+    cbcast_->set_group(v.members);
+  });
+}
+
+void GcsStack::init_view(std::vector<ProcessId> members) {
+  membership_->init_view(std::move(members));
+  start();
+}
+
+void GcsStack::join(ProcessId contact) {
+  membership_->join(contact);
+  start();
+}
+
+void GcsStack::start() {
+  fd_->start();
+  monitoring_->start();
+}
+
+void GcsStack::leave() {
+  membership_->on_excluded([this] { fd_->stop(); });
+  membership_->leave();
+}
+
+void GcsStack::crash() {
+  ctx_->kill();
+  if (network_) network_->crash(ctx_->self());
+}
+
+World::World(Config config)
+    : engine_(), network_(engine_, config.n, config.link, config.seed) {
+  stacks_.reserve(static_cast<std::size_t>(config.n));
+  for (ProcessId p = 0; p < config.n; ++p) {
+    stacks_.push_back(
+        std::make_unique<GcsStack>(engine_, network_, p, config.seed, config.stack));
+  }
+}
+
+void World::found_group(const std::vector<ProcessId>& members) {
+  for (ProcessId p : members) stack(p).init_view(members);
+}
+
+void World::found_group_all() {
+  std::vector<ProcessId> all;
+  for (int p = 0; p < size(); ++p) all.push_back(p);
+  found_group(all);
+}
+
+}  // namespace gcs

@@ -1,0 +1,177 @@
+/// \file stack.hpp
+/// GcsStack: the full new architecture, wired per the paper's Figure 9.
+///
+///            Application
+///        ┌───────┴────────┐
+///   GroupMembership   (join/remove/new_view)        Monitoring
+///        │  ▲                                        │   ▲  ▲
+///   GenericBroadcast  (gbcast/gdeliver)   remove ────┘   │  └─ suspect (long)
+///        │  ▲                                   output-triggered
+///   AtomicBroadcast   (abcast/adeliver)              │
+///        │  ▲                                        │
+///     Consensus ── suspect (short) ── FailureDetection
+///        │  ▲                              │
+///    ReliableChannel ──────────────────────┘
+///        │  ▲
+///   UnreliableTransport (u-send/u-receive, simulated network)
+///
+/// One GcsStack instance is one process of the group. All components are
+/// owned by the stack and wired at construction; group lifecycle is
+/// init_view() (founding member) or join() (late joiner).
+#pragma once
+
+#include <memory>
+
+#include "broadcast/atomic_broadcast.hpp"
+#include "broadcast/causal_broadcast.hpp"
+#include "broadcast/reliable_broadcast.hpp"
+#include "channel/reliable_channel.hpp"
+#include "consensus/consensus.hpp"
+#include "consensus/paxos.hpp"
+#include "core/conflict.hpp"
+#include "core/generic_broadcast.hpp"
+#include "core/membership.hpp"
+#include "core/monitoring.hpp"
+#include "fd/failure_detector.hpp"
+#include "sim/context.hpp"
+#include "sim/network.hpp"
+#include "transport/sim_transport.hpp"
+
+namespace gcs {
+
+struct StackConfig {
+  /// Which consensus algorithm sits at the bottom (the architecture is
+  /// agnostic — both satisfy ConsensusProtocol; bench_e8 compares them).
+  enum class ConsensusAlgo { kChandraToueg, kPaxos };
+  ConsensusAlgo consensus_algorithm = ConsensusAlgo::kChandraToueg;
+  /// ◇S (consensus) suspicion timeout — may be aggressive; false suspicions
+  /// cost a consensus round, not an exclusion (paper §4.3).
+  Duration consensus_suspect_timeout = msec(60);
+  FailureDetector::Config fd = {};
+  ReliableChannel::Config channel = {};
+  GenericBroadcast::Config gb = {};
+  Monitoring::Config monitoring = {};
+  /// Conflict relation for generic broadcast; default is the paper's §3.3
+  /// rbcast/abcast table.
+  ConflictRelation conflict = ConflictRelation::rbcast_abcast();
+  /// Stability gossip period for the atomic-broadcast substrate; bounds
+  /// dedup memory on long runs (0 = disabled; fine for bounded runs).
+  Duration stability_interval = 0;
+};
+
+class GcsStack {
+ public:
+  /// Simulation flavor: wires a SimTransport over \p network.
+  GcsStack(sim::Engine& engine, sim::Network& network, ProcessId self,
+           std::uint64_t seed, StackConfig config = {});
+
+  /// Custom-transport flavor (e.g. the UDP transport in src/runtime): the
+  /// caller supplies the transport; crash() only kills the local context.
+  GcsStack(sim::Engine& engine, std::unique_ptr<Transport> transport, ProcessId self,
+           std::uint64_t seed, StackConfig config = {});
+
+  /// -- lifecycle --------------------------------------------------------
+
+  /// Found the group (identical call at every initial member), then start().
+  void init_view(std::vector<ProcessId> members);
+  /// Ask \p contact to sponsor us into the group, then start().
+  void join(ProcessId contact);
+  /// Start heartbeats, suspicion checking and monitoring policies.
+  void start();
+  /// Leave the group gracefully: propose own removal and go silent once it
+  /// is installed (heartbeats stop, so no one wastes suspicion on us).
+  void leave();
+  /// Crash this process (simulation fault injection).
+  void crash();
+
+  /// -- group communication operations (Fig 9) ---------------------------
+
+  /// Atomic broadcast: total order against everything.
+  MsgId abcast(Bytes payload) { return abcast_->abcast(AtomicBroadcast::kApp, std::move(payload)); }
+  /// Generic broadcast with an application conflict class.
+  MsgId gbcast(MsgClass cls, Bytes payload) { return gbcast_->gbcast(cls, std::move(payload)); }
+  /// Reliable broadcast op = generic broadcast in the non-conflicting class.
+  MsgId rbcast(Bytes payload) { return gbcast_->rbcast_op(std::move(payload)); }
+  /// Causal-order broadcast (the optional Isis-heritage layer): cheaper
+  /// than abcast (no consensus), stronger than rbcast (happened-before
+  /// order preserved).
+  MsgId cbcast(Bytes payload) { return cbcast_->cbcast(std::move(payload)); }
+
+  void on_adeliver(AtomicBroadcast::DeliverFn fn) {
+    abcast_->subscribe(AtomicBroadcast::kApp, std::move(fn));
+  }
+  void on_gdeliver(GenericBroadcast::DeliverFn fn) { gbcast_->on_deliver(std::move(fn)); }
+  void on_cdeliver(CausalBroadcast::DeliverFn fn) { cbcast_->on_deliver(std::move(fn)); }
+  void on_view(GroupMembership::ViewFn fn) { membership_->on_view(std::move(fn)); }
+
+  /// -- component access (tests, benchmarks, advanced use) ---------------
+  sim::Context& context() { return *ctx_; }
+  Transport& transport() { return *transport_; }
+  ReliableChannel& channel() { return *channel_; }
+  FailureDetector& fd() { return *fd_; }
+  FailureDetector::ClassId consensus_fd_class() const { return consensus_fd_class_; }
+  ConsensusProtocol& consensus() { return *consensus_; }
+  AtomicBroadcast& atomic_broadcast() { return *abcast_; }
+  ReliableBroadcast& abcast_substrate() { return *ab_rbcast_; }
+  GenericBroadcast& generic_broadcast() { return *gbcast_; }
+  CausalBroadcast& causal_broadcast() { return *cbcast_; }
+  GroupMembership& membership() { return *membership_; }
+  Monitoring& monitoring() { return *monitoring_; }
+  const View& view() const { return membership_->view(); }
+  ProcessId self() const { return ctx_->self(); }
+  Metrics& metrics() { return ctx_->metrics(); }
+
+ private:
+  void wire(StackConfig config);
+
+  std::unique_ptr<sim::Context> ctx_;
+  std::unique_ptr<Transport> transport_;
+  std::unique_ptr<ReliableChannel> channel_;
+  std::unique_ptr<FailureDetector> fd_;
+  FailureDetector::ClassId consensus_fd_class_;
+  std::unique_ptr<ConsensusProtocol> consensus_;
+  std::unique_ptr<ReliableBroadcast> ab_rbcast_;  // abcast's flooding substrate
+  std::unique_ptr<AtomicBroadcast> abcast_;
+  std::unique_ptr<ReliableBroadcast> gb_rbcast_;  // generic broadcast's flooding
+  std::unique_ptr<GenericBroadcast> gbcast_;
+  std::unique_ptr<ReliableBroadcast> cb_rbcast_;  // causal broadcast's flooding
+  std::unique_ptr<CausalBroadcast> cbcast_;
+  std::unique_ptr<GroupMembership> membership_;
+  std::unique_ptr<Monitoring> monitoring_;
+  sim::Network* network_;
+};
+
+/// Convenience harness: one engine + network + a GcsStack per process.
+/// Used by tests, benchmarks and the examples.
+class World {
+ public:
+  struct Config {
+    int n = 4;
+    sim::LinkModel link = {};
+    std::uint64_t seed = 1;
+    StackConfig stack = {};
+  };
+
+  explicit World(Config config);
+
+  sim::Engine& engine() { return engine_; }
+  sim::Network& network() { return network_; }
+  GcsStack& stack(ProcessId p) { return *stacks_[static_cast<std::size_t>(p)]; }
+  int size() const { return static_cast<int>(stacks_.size()); }
+
+  /// init_view(members) + start() on every listed process.
+  void found_group(const std::vector<ProcessId>& members);
+  /// All processes 0..n-1 found the group.
+  void found_group_all();
+
+  void run_for(Duration d) { engine_.run_until(engine_.now() + d); }
+  void run(std::uint64_t max_events = 50'000'000) { engine_.run(max_events); }
+  void crash(ProcessId p) { stack(p).crash(); }
+
+ private:
+  sim::Engine engine_;
+  sim::Network network_;
+  std::vector<std::unique_ptr<GcsStack>> stacks_;
+};
+
+}  // namespace gcs

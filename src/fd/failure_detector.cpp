@@ -1,0 +1,157 @@
+#include "fd/failure_detector.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace gcs {
+
+FailureDetector::FailureDetector(sim::Context& ctx, Transport& transport)
+    : FailureDetector(ctx, transport, Config{}) {}
+
+FailureDetector::FailureDetector(sim::Context& ctx, Transport& transport, Config config)
+    : ctx_(ctx), transport_(transport), config_(config),
+      last_heard_(static_cast<std::size_t>(transport.universe_size()), 0),
+      arrivals_(static_cast<std::size_t>(transport.universe_size())) {
+  transport_.subscribe(Tag::kFd,
+                       [this](ProcessId from, const Bytes&) { on_heartbeat(from); });
+}
+
+void FailureDetector::start() {
+  if (running_) return;
+  running_ = true;
+  // Grace period: everyone counts as freshly heard at start time.
+  for (auto& t : last_heard_) t = ctx_.now();
+  heartbeat_tick();
+  check_tick();
+}
+
+void FailureDetector::stop() { running_ = false; }
+
+FailureDetector::ClassId FailureDetector::add_class(Duration timeout) {
+  classes_.push_back(TimeoutClass{timeout, {}, {}, {}, {}});
+  return static_cast<ClassId>(classes_.size() - 1);
+}
+
+void FailureDetector::set_timeout(ClassId cls, Duration timeout) {
+  classes_[static_cast<std::size_t>(cls)].timeout = timeout;
+}
+
+void FailureDetector::enable_adaptive(ClassId cls, double safety_factor, Duration slack,
+                                      Duration floor, Duration ceiling) {
+  auto& c = classes_[static_cast<std::size_t>(cls)];
+  c.adaptive = true;
+  c.safety_factor = safety_factor;
+  c.slack = slack;
+  c.floor = floor;
+  c.ceiling = ceiling;
+}
+
+Duration FailureDetector::effective_timeout(ClassId cls, ProcessId q) const {
+  const auto& c = classes_[static_cast<std::size_t>(cls)];
+  if (!c.adaptive) return c.timeout;
+  const auto& stats = arrivals_[static_cast<std::size_t>(q)];
+  if (!stats.primed) return c.ceiling > 0 ? c.ceiling : c.timeout;
+  const double t = stats.ewma_interval + c.safety_factor * stats.ewma_jitter +
+                   static_cast<double>(c.slack);
+  auto clamped = static_cast<Duration>(t);
+  if (clamped < c.floor) clamped = c.floor;
+  if (c.ceiling > 0 && clamped > c.ceiling) clamped = c.ceiling;
+  return clamped;
+}
+
+void FailureDetector::monitor(ClassId cls, ProcessId q) {
+  if (q == ctx_.self()) return;  // never monitor self
+  classes_[static_cast<std::size_t>(cls)].monitored.insert(q);
+}
+
+void FailureDetector::unmonitor(ClassId cls, ProcessId q) {
+  auto& c = classes_[static_cast<std::size_t>(cls)];
+  c.monitored.erase(q);
+  c.suspected.erase(q);
+}
+
+void FailureDetector::monitor_group(ClassId cls, const std::vector<ProcessId>& group) {
+  for (ProcessId q : group) monitor(cls, q);
+}
+
+bool FailureDetector::suspects(ClassId cls, ProcessId q) const {
+  const auto& c = classes_[static_cast<std::size_t>(cls)];
+  return c.suspected.count(q) != 0;
+}
+
+std::vector<ProcessId> FailureDetector::suspected(ClassId cls) const {
+  const auto& c = classes_[static_cast<std::size_t>(cls)];
+  return {c.suspected.begin(), c.suspected.end()};
+}
+
+void FailureDetector::on_suspect(ClassId cls, SuspectFn fn) {
+  classes_[static_cast<std::size_t>(cls)].suspect_fns.push_back(std::move(fn));
+}
+
+void FailureDetector::on_restore(ClassId cls, SuspectFn fn) {
+  classes_[static_cast<std::size_t>(cls)].restore_fns.push_back(std::move(fn));
+}
+
+void FailureDetector::inject_suspicion(ClassId cls, ProcessId q) {
+  mark_suspected(cls, q);
+}
+
+void FailureDetector::on_heartbeat(ProcessId from) {
+  auto& stats = arrivals_[static_cast<std::size_t>(from)];
+  const TimePoint prev = last_heard_[static_cast<std::size_t>(from)];
+  if (prev > 0) {
+    const double interval = static_cast<double>(ctx_.now() - prev);
+    if (!stats.primed) {
+      stats.ewma_interval = interval;
+      stats.primed = true;
+    } else {
+      const double err = interval - stats.ewma_interval;
+      stats.ewma_interval += 0.125 * err;                       // alpha 1/8
+      stats.ewma_jitter += 0.25 * (std::abs(err) - stats.ewma_jitter);  // beta 1/4
+    }
+  }
+  last_heard_[static_cast<std::size_t>(from)] = ctx_.now();
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    auto& c = classes_[i];
+    if (c.suspected.erase(from) > 0) {
+      // The process was alive after all: the suspicion was false.
+      ++false_suspicions_;
+      ctx_.metrics().inc("fd.false_suspicions");
+      for (const auto& fn : c.restore_fns) fn(from);
+    }
+  }
+}
+
+void FailureDetector::heartbeat_tick() {
+  if (!running_) return;
+  const int n = transport_.universe_size();
+  for (ProcessId q = 0; q < n; ++q) {
+    if (q != ctx_.self()) transport_.u_send(q, Tag::kFd, {});
+  }
+  ctx_.after(config_.heartbeat_interval, [this] { heartbeat_tick(); });
+}
+
+void FailureDetector::check_tick() {
+  if (!running_) return;
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    auto& c = classes_[i];
+    for (ProcessId q : c.monitored) {
+      if (c.suspected.count(q)) continue;
+      if (ctx_.now() - last_heard_[static_cast<std::size_t>(q)] >
+          effective_timeout(static_cast<ClassId>(i), q)) {
+        mark_suspected(static_cast<ClassId>(i), q);
+      }
+    }
+  }
+  ctx_.after(config_.heartbeat_interval, [this] { check_tick(); });
+}
+
+void FailureDetector::mark_suspected(ClassId cls, ProcessId q) {
+  auto& c = classes_[static_cast<std::size_t>(cls)];
+  if (!c.monitored.count(q) || c.suspected.count(q)) return;
+  c.suspected.insert(q);
+  ctx_.metrics().inc("fd.suspicions");
+  for (const auto& fn : c.suspect_fns) fn(q);
+}
+
+}  // namespace gcs

@@ -1,0 +1,63 @@
+/// \file event.hpp
+/// Events for the protocol-composition kernel (paper §5 and §2.2).
+///
+/// The paper's prototype was built on two protocol-composition frameworks
+/// (Appia and Cactus): protocol code lives in layers, and *events* are
+/// routed up and down a stack of layers. This kernel reproduces that
+/// programming model: an Event carries a kind, a direction of travel, a
+/// payload and a small attribute map; layers subscribe to kinds and may
+/// consume, forward, redirect (bounce) or emit events.
+///
+/// The bounce pattern is Ensemble's (paper §2.2): the `stable` component
+/// sends a stability event DOWN the stack; at the bottom it bounces and
+/// travels UP through every component, which reads the notification on the
+/// way. Direction is a property of the event, not of the layer graph.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace gcs::kernel {
+
+enum class Direction { kUp, kDown };
+
+/// Event kinds are small integers; protocols define their own constants.
+/// Kinds below 100 are reserved for the kernel.
+using EventKind = std::uint32_t;
+
+inline constexpr EventKind kSendEvent = 1;     ///< app payload travelling down
+inline constexpr EventKind kDeliverEvent = 2;  ///< network payload travelling up
+inline constexpr EventKind kFirstUserKind = 100;
+
+struct Event {
+  EventKind kind = 0;
+  Direction direction = Direction::kDown;
+  /// Peer process: destination for down-traffic, source for up-traffic.
+  ProcessId peer = kNoProcess;
+  Bytes payload;
+  /// Free-form attributes layers use to annotate events for each other.
+  std::map<std::string, std::int64_t> attrs;
+
+  static Event send_to(ProcessId to, Bytes payload) {
+    Event e;
+    e.kind = kSendEvent;
+    e.direction = Direction::kDown;
+    e.peer = to;
+    e.payload = std::move(payload);
+    return e;
+  }
+  static Event deliver_from(ProcessId from, Bytes payload) {
+    Event e;
+    e.kind = kDeliverEvent;
+    e.direction = Direction::kUp;
+    e.peer = from;
+    e.payload = std::move(payload);
+    return e;
+  }
+};
+
+}  // namespace gcs::kernel

@@ -1,0 +1,37 @@
+/// \file layer.hpp
+/// A protocol layer in the composition kernel.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "kernel/event.hpp"
+
+namespace gcs::kernel {
+
+class ProtocolStack;
+
+/// What a layer decides to do with an event it handled.
+enum class Verdict {
+  kForward,  ///< keep routing in the event's (possibly changed) direction
+  kConsume,  ///< stop routing; the layer took ownership
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Human-readable name (stack dumps, traces).
+  virtual std::string name() const = 0;
+
+  /// Event kinds this layer wants to see; everything else passes through
+  /// untouched (the Appia/Ensemble subscription model).
+  virtual std::set<EventKind> subscriptions() const = 0;
+
+  /// Handle \p event. The layer may mutate it (including flipping its
+  /// direction — that is how bouncing works), emit new events through
+  /// \p stack, and return kConsume to stop the routing.
+  virtual Verdict handle(Event& event, ProtocolStack& stack) = 0;
+};
+
+}  // namespace gcs::kernel

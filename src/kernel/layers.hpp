@@ -1,0 +1,173 @@
+/// \file layers.hpp
+/// Reusable layers for the composition kernel — enough to rebuild the
+/// shape of the paper's Ensemble stack (Fig 5) and demonstrate the event
+/// patterns its §2.2 describes (notably the bounced stability event).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "kernel/stack.hpp"
+
+namespace gcs::kernel {
+
+/// Event kinds used by these layers.
+inline constexpr EventKind kStabilityEvent = kFirstUserKind + 0;  ///< bounced notification
+inline constexpr EventKind kProbeTick = kFirstUserKind + 1;       ///< drives the stable layer
+
+/// Records every event it sees: (layer position is implied by where you
+/// insert it). For tests and stack traces.
+class TraceLayer final : public Layer {
+ public:
+  struct Entry {
+    EventKind kind;
+    Direction direction;
+    ProcessId peer;
+  };
+
+  explicit TraceLayer(std::string name = "trace") : name_(std::move(name)) {}
+
+  std::string name() const override { return name_; }
+  std::set<EventKind> subscriptions() const override {
+    // Trace wants everything; the kernel has no wildcard, so list the kinds
+    // used in this suite.
+    return {kSendEvent, kDeliverEvent, kStabilityEvent, kProbeTick};
+  }
+  Verdict handle(Event& event, ProtocolStack&) override {
+    entries_.push_back(Entry{event.kind, event.direction, event.peer});
+    return Verdict::kForward;
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::string name_;
+  std::vector<Entry> entries_;
+};
+
+/// Per-peer FIFO: stamps down-traffic with a sequence number attribute and
+/// releases up-traffic in order, holding back gaps.
+class FifoLayer final : public Layer {
+ public:
+  std::string name() const override { return "fifo"; }
+  std::set<EventKind> subscriptions() const override { return {kSendEvent, kDeliverEvent}; }
+
+  Verdict handle(Event& event, ProtocolStack& stack) override {
+    if (event.direction == Direction::kDown) {
+      event.attrs["fifo.seq"] = static_cast<std::int64_t>(next_out_[event.peer]++);
+      return Verdict::kForward;
+    }
+    const auto seq = event.attrs.count("fifo.seq") ? event.attrs.at("fifo.seq") : -1;
+    if (seq < 0) return Verdict::kForward;  // unstamped: pass through
+    auto& expected = next_in_[event.peer];
+    if (seq < expected) return Verdict::kConsume;  // duplicate of delivered
+    if (seq > expected) {
+      holdback_[event.peer].emplace(seq, event);
+      return Verdict::kConsume;
+    }
+    ++expected;
+    // Release any directly following held-back events after this one.
+    auto& held = holdback_[event.peer];
+    while (!held.empty() && held.begin()->first == expected) {
+      Event next = std::move(held.begin()->second);
+      held.erase(held.begin());
+      ++expected;
+      stack.emit(std::move(next), self_index_);
+    }
+    return Verdict::kForward;
+  }
+
+  /// The kernel has no layer-introspection; tell the layer its index once.
+  void set_self_index(std::size_t idx) { self_index_ = idx; }
+  std::size_t held_back() const {
+    std::size_t total = 0;
+    for (const auto& [peer, held] : holdback_) total += held.size();
+    return total;
+  }
+
+ private:
+  std::map<ProcessId, std::int64_t> next_out_;
+  std::map<ProcessId, std::int64_t> next_in_;
+  std::map<ProcessId, std::map<std::int64_t, Event>> holdback_;
+  std::size_t self_index_ = 0;
+};
+
+/// Buffers everything sent down until a stability notification (travelling
+/// UP, after its bounce at the bottom) tells it the prefix is stable —
+/// the retransmission-buffer role Ensemble's `stable` component serves.
+class BufferLayer final : public Layer {
+ public:
+  std::string name() const override { return "buffer"; }
+  std::set<EventKind> subscriptions() const override {
+    return {kSendEvent, kStabilityEvent};
+  }
+
+  Verdict handle(Event& event, ProtocolStack&) override {
+    if (event.kind == kSendEvent && event.direction == Direction::kDown) {
+      buffered_.push_back(event.payload);
+      return Verdict::kForward;
+    }
+    if (event.kind == kStabilityEvent) {
+      if (event.direction == Direction::kUp) {
+        // The bounced notification, on its way up: prune.
+        const auto stable = event.attrs.count("stable.count")
+                                ? event.attrs.at("stable.count")
+                                : 0;
+        while (!buffered_.empty() && pruned_ < stable) {
+          buffered_.pop_front();
+          ++pruned_;
+        }
+        saw_up_notification_ = true;
+      } else {
+        saw_down_notification_ = true;  // passing by on its way to the bottom
+      }
+    }
+    return Verdict::kForward;
+  }
+
+  std::size_t buffered() const { return buffered_.size(); }
+  bool saw_down_notification() const { return saw_down_notification_; }
+  bool saw_up_notification() const { return saw_up_notification_; }
+
+ private:
+  std::deque<Bytes> buffered_;
+  std::int64_t pruned_ = 0;
+  bool saw_down_notification_ = false;
+  bool saw_up_notification_ = false;
+};
+
+/// The Ensemble-style `stable` component: on a probe tick it emits a
+/// stability notification DOWNWARD; the event bounces at the bottom of the
+/// stack and travels up through every layer (paper §2.2's description,
+/// verbatim). Here stability is simply "number of sends observed" — the
+/// real protocol lives in src/broadcast; this layer demonstrates the
+/// routing pattern.
+class StableLayer final : public Layer {
+ public:
+  std::string name() const override { return "stable"; }
+  std::set<EventKind> subscriptions() const override { return {kSendEvent, kProbeTick}; }
+
+  Verdict handle(Event& event, ProtocolStack& stack) override {
+    if (event.kind == kSendEvent) {
+      ++sends_seen_;
+      return Verdict::kForward;
+    }
+    // Probe: emit the notification downward; the kernel bounces it at the
+    // bottom and routes it up through the whole stack.
+    Event note;
+    note.kind = kStabilityEvent;
+    note.direction = Direction::kDown;
+    note.attrs["stable.count"] = sends_seen_;
+    stack.emit(std::move(note), self_index_);
+    return Verdict::kConsume;
+  }
+
+  void set_self_index(std::size_t idx) { self_index_ = idx; }
+
+ private:
+  std::int64_t sends_seen_ = 0;
+  std::size_t self_index_ = 0;
+};
+
+}  // namespace gcs::kernel

@@ -1,0 +1,81 @@
+#include "kernel/stack.hpp"
+
+namespace gcs::kernel {
+
+std::size_t ProtocolStack::push_layer(std::unique_ptr<Layer> layer) {
+  subs_.push_back(layer->subscriptions());
+  layers_.push_back(std::move(layer));
+  return layers_.size() - 1;
+}
+
+std::ptrdiff_t ProtocolStack::entry_cursor(const Event& event) const {
+  return event.direction == Direction::kUp ? 0
+                                           : static_cast<std::ptrdiff_t>(layers_.size()) - 1;
+}
+
+void ProtocolStack::inject(Event event) {
+  queue_.push_back(Pending{std::move(event), -2});  // -2: compute at route time
+  drain();
+}
+
+void ProtocolStack::emit(Event event, std::size_t from_layer) {
+  const std::ptrdiff_t cursor = event.direction == Direction::kUp
+                                    ? static_cast<std::ptrdiff_t>(from_layer) + 1
+                                    : static_cast<std::ptrdiff_t>(from_layer) - 1;
+  queue_.push_back(Pending{std::move(event), cursor});
+  drain();
+}
+
+void ProtocolStack::drain() {
+  if (draining_) return;  // run-to-completion: the outermost call drains
+  draining_ = true;
+  while (!queue_.empty()) {
+    Pending pending = std::move(queue_.front());
+    queue_.pop_front();
+    if (pending.cursor == -2) pending.cursor = entry_cursor(pending.event);
+    route(std::move(pending));
+  }
+  draining_ = false;
+}
+
+void ProtocolStack::route(Pending pending) {
+  ++events_routed_;
+  Event& event = pending.event;
+  std::ptrdiff_t cursor = pending.cursor;
+  while (true) {
+    if (cursor < 0) {
+      // Fell off the bottom. The hook may bounce the event back up
+      // (Ensemble's pattern: stability events turn around at the bottom).
+      if (bottom_hook_) bottom_hook_(event);
+      if (event.direction == Direction::kUp) {
+        cursor = 0;
+        continue;
+      }
+      return;
+    }
+    if (cursor >= static_cast<std::ptrdiff_t>(layers_.size())) {
+      if (top_hook_) top_hook_(event);
+      if (event.direction == Direction::kDown) {
+        cursor = static_cast<std::ptrdiff_t>(layers_.size()) - 1;
+        continue;
+      }
+      return;
+    }
+    const auto idx = static_cast<std::size_t>(cursor);
+    if (subs_[idx].count(event.kind)) {
+      const Verdict verdict = layers_[idx]->handle(event, *this);
+      if (verdict == Verdict::kConsume) return;
+    }
+    // Continue in the event's (possibly just flipped) direction.
+    cursor += event.direction == Direction::kUp ? 1 : -1;
+  }
+}
+
+std::vector<std::string> ProtocolStack::describe() const {
+  std::vector<std::string> names;
+  names.reserve(layers_.size());
+  for (const auto& layer : layers_) names.push_back(layer->name());
+  return names;
+}
+
+}  // namespace gcs::kernel

@@ -1,0 +1,77 @@
+/// \file stack.hpp
+/// ProtocolStack: deterministic event routing through an ordered list of
+/// layers (bottom = index 0). The Appia-flavored kernel of paper §5.
+///
+/// Routing rules:
+///   - an event travelling kUp visits layers bottom→top starting above its
+///     origin; kDown visits top→bottom below its origin;
+///   - only layers subscribed to the event's kind handle it; others are
+///     skipped;
+///   - a handler may flip the event's direction (bounce): routing continues
+///     the other way from the *current* layer;
+///   - a handler may emit() new events: they are queued and routed after
+///     the current one completes (run-to-completion, deterministic order);
+///   - an event that falls off the bottom is given to the bottom hook
+///     (usually a network adapter); off the top it is dropped (or given to
+///     the top hook).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "kernel/layer.hpp"
+
+namespace gcs::kernel {
+
+class ProtocolStack {
+ public:
+  using EdgeHook = std::function<void(Event&)>;
+
+  /// Append a layer on top of the current stack; returns its index.
+  std::size_t push_layer(std::unique_ptr<Layer> layer);
+
+  std::size_t size() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_[i]; }
+
+  /// Called when a kDown event exits below layer 0 (e.g. send on the wire).
+  void set_bottom_hook(EdgeHook hook) { bottom_hook_ = std::move(hook); }
+  /// Called when a kUp event exits above the top layer.
+  void set_top_hook(EdgeHook hook) { top_hook_ = std::move(hook); }
+
+  /// Inject an event from outside the stack and run to completion:
+  /// kUp events enter below layer 0, kDown events enter above the top.
+  void inject(Event event);
+
+  /// Emit an event from inside a handler: starts at the emitting layer
+  /// (exclusive) in the event's direction, after the current event is done.
+  /// \p from_layer is the emitting layer's index.
+  void emit(Event event, std::size_t from_layer);
+
+  /// Layer names bottom→top (diagnostics; the paper's figures as text).
+  std::vector<std::string> describe() const;
+
+  std::uint64_t events_routed() const { return events_routed_; }
+
+ private:
+  // An event plus the index of the next layer to visit.
+  struct Pending {
+    Event event;
+    std::ptrdiff_t cursor;
+  };
+
+  void route(Pending pending);
+  void drain();
+  std::ptrdiff_t entry_cursor(const Event& event) const;
+
+  std::vector<std::unique_ptr<Layer>> layers_;
+  std::vector<std::set<EventKind>> subs_;
+  EdgeHook bottom_hook_;
+  EdgeHook top_hook_;
+  std::deque<Pending> queue_;
+  bool draining_ = false;
+  std::uint64_t events_routed_ = 0;
+};
+
+}  // namespace gcs::kernel

@@ -1,0 +1,51 @@
+#include "replication/active.hpp"
+
+namespace gcs::replication {
+
+ActiveReplication::ActiveReplication(GcsStack& stack, std::unique_ptr<StateMachine> sm)
+    : stack_(stack), sm_(std::move(sm)) {
+  stack_.on_adeliver([this](const MsgId& id, const Bytes& command) {
+    Bytes result = sm_->apply(command);
+    ++applied_;
+    auto it = pending_.find(id);
+    if (it != pending_.end()) {
+      if (it->second) it->second(result);
+      pending_.erase(it);
+    }
+  });
+  // Joiners receive the machine state via the membership's state transfer.
+  stack_.membership().set_snapshot_provider([this] { return sm_->snapshot(); });
+  stack_.membership().set_snapshot_installer(
+      [this](const Bytes& snapshot) { sm_->restore(snapshot); });
+}
+
+MsgId ActiveReplication::submit(Bytes command, ResultFn on_result) {
+  const MsgId id = stack_.abcast(std::move(command));
+  if (on_result) pending_.emplace(id, std::move(on_result));
+  return id;
+}
+
+GenericActiveReplication::GenericActiveReplication(GcsStack& stack,
+                                                   std::unique_ptr<StateMachine> sm)
+    : stack_(stack), sm_(std::move(sm)) {
+  stack_.on_gdeliver([this](const MsgId& id, MsgClass, const Bytes& command) {
+    Bytes result = sm_->apply(command);
+    ++applied_;
+    auto it = pending_.find(id);
+    if (it != pending_.end()) {
+      if (it->second) it->second(result);
+      pending_.erase(it);
+    }
+  });
+  stack_.membership().set_snapshot_provider([this] { return sm_->snapshot(); });
+  stack_.membership().set_snapshot_installer(
+      [this](const Bytes& snapshot) { sm_->restore(snapshot); });
+}
+
+MsgId GenericActiveReplication::submit(MsgClass cls, Bytes command, ResultFn on_result) {
+  const MsgId id = stack_.gbcast(cls, std::move(command));
+  if (on_result) pending_.emplace(id, std::move(on_result));
+  return id;
+}
+
+}  // namespace gcs::replication

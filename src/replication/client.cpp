@@ -1,0 +1,272 @@
+#include "replication/client.hpp"
+
+#include "util/codec.hpp"
+
+namespace gcs::replication {
+
+namespace {
+// Channel messages on Tag::kApp between clients and service replicas.
+constexpr std::uint8_t kRequest = 0;
+constexpr std::uint8_t kResponse = 1;
+constexpr std::uint8_t kRedirect = 2;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CachingStateMachine
+// ---------------------------------------------------------------------------
+
+Bytes CachingStateMachine::wrap(ProcessId client, std::uint64_t request_id,
+                                const Bytes& command) {
+  Encoder enc;
+  enc.put_i32(client);
+  enc.put_u64(request_id);
+  enc.put_bytes(command);
+  return enc.take();
+}
+
+Bytes CachingStateMachine::apply(const Bytes& wrapped) {
+  Decoder dec(wrapped);
+  const ProcessId client = dec.get_i32();
+  const std::uint64_t request_id = dec.get_u64();
+  const Bytes command = dec.get_bytes();
+  if (!dec.ok()) return {};
+  const auto key = std::make_pair(client, request_id);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    // Retried command that already committed: at-most-once execution.
+    ++duplicates_;
+    return it->second;
+  }
+  Bytes result = inner_->apply(command);
+  cache_.emplace(key, result);
+  return result;
+}
+
+Bytes CachingStateMachine::snapshot() const {
+  Encoder enc;
+  enc.put_u64(cache_.size());
+  for (const auto& [key, result] : cache_) {
+    enc.put_i32(key.first);
+    enc.put_u64(key.second);
+    enc.put_bytes(result);
+  }
+  enc.put_bytes(inner_->snapshot());
+  return enc.take();
+}
+
+void CachingStateMachine::restore(const Bytes& snapshot) {
+  Decoder dec(snapshot);
+  cache_.clear();
+  const std::uint64_t n = dec.get_u64();
+  for (std::uint64_t i = 0; i < n && dec.ok(); ++i) {
+    const ProcessId client = dec.get_i32();
+    const std::uint64_t request_id = dec.get_u64();
+    cache_[std::make_pair(client, request_id)] = dec.get_bytes();
+  }
+  inner_->restore(dec.get_bytes());
+}
+
+std::optional<Bytes> CachingStateMachine::cached(ProcessId client,
+                                                 std::uint64_t request_id) const {
+  auto it = cache_.find(std::make_pair(client, request_id));
+  if (it == cache_.end()) return std::nullopt;
+  return it->second;
+}
+
+// ---------------------------------------------------------------------------
+// ActiveService
+// ---------------------------------------------------------------------------
+
+ActiveService::ActiveService(GcsStack& stack, std::unique_ptr<StateMachine> sm)
+    : stack_(stack), machine_(std::move(sm)) {
+  stack_.channel().subscribe(Tag::kApp, [this](ProcessId client, const Bytes& b) {
+    on_request(client, b);
+  });
+  stack_.on_adeliver([this](const MsgId&, const Bytes& wrapped) { on_adeliver(wrapped); });
+  stack_.membership().set_snapshot_provider([this] { return machine_.snapshot(); });
+  stack_.membership().set_snapshot_installer(
+      [this](const Bytes& snapshot) { machine_.restore(snapshot); });
+}
+
+void ActiveService::on_request(ProcessId client, const Bytes& payload) {
+  Decoder dec(payload);
+  if (dec.get_byte() != kRequest) return;
+  const std::uint64_t request_id = dec.get_u64();
+  const Bytes command = dec.get_bytes();
+  if (!dec.ok()) return;
+  const auto key = std::make_pair(client, request_id);
+  if (auto cached = machine_.cached(client, request_id)) {
+    reply(client, request_id, *cached);  // committed earlier: serve the cache
+    return;
+  }
+  if (!waiting_.insert(key).second) return;  // in flight; reply comes later
+  stack_.abcast(CachingStateMachine::wrap(client, request_id, command));
+  stack_.metrics().inc("service.requests_accepted");
+}
+
+void ActiveService::on_adeliver(const Bytes& wrapped) {
+  Decoder dec(wrapped);
+  const ProcessId client = dec.get_i32();
+  const std::uint64_t request_id = dec.get_u64();
+  if (!dec.ok()) return;
+  const Bytes result = machine_.apply(wrapped);
+  ++applied_;
+  const auto key = std::make_pair(client, request_id);
+  if (waiting_.erase(key) > 0) reply(client, request_id, result);
+}
+
+void ActiveService::reply(ProcessId client, std::uint64_t request_id, const Bytes& result) {
+  Encoder enc;
+  enc.put_byte(kResponse);
+  enc.put_u64(request_id);
+  enc.put_bool(true);
+  enc.put_bytes(result);
+  stack_.channel().send(client, Tag::kApp, enc.take());
+}
+
+// ---------------------------------------------------------------------------
+// PassiveService
+// ---------------------------------------------------------------------------
+
+PassiveService::PassiveService(GcsStack& stack, std::unique_ptr<StateMachine> sm,
+                               PassiveReplication::Config config)
+    : stack_(stack) {
+  auto caching = std::make_unique<CachingStateMachine>(std::move(sm));
+  machine_ = caching.get();
+  passive_ = std::make_unique<PassiveReplication>(stack, std::move(caching), config);
+  stack_.channel().subscribe(Tag::kApp, [this](ProcessId client, const Bytes& b) {
+    on_request(client, b);
+  });
+}
+
+StateMachine& PassiveService::state() { return machine_->inner(); }
+CachingStateMachine& PassiveService::caching_machine() { return *machine_; }
+
+void PassiveService::on_request(ProcessId client, const Bytes& payload) {
+  Decoder dec(payload);
+  if (dec.get_byte() != kRequest) return;
+  const std::uint64_t request_id = dec.get_u64();
+  const Bytes command = dec.get_bytes();
+  if (!dec.ok()) return;
+  if (auto cached = machine_->cached(client, request_id)) {
+    // Committed — possibly under a previous primary. Serve the cache.
+    reply(client, request_id, true, *cached);
+    return;
+  }
+  if (!passive_->is_primary()) {
+    redirect(client, request_id);
+    return;
+  }
+  const auto key = std::make_pair(client, request_id);
+  if (!executing_.insert(key).second) return;  // duplicate while in flight
+  stack_.metrics().inc("service.requests_accepted");
+  passive_->handle_request(
+      CachingStateMachine::wrap(client, request_id, command),
+      [this, client, request_id, key](bool committed, const Bytes& result) {
+        executing_.erase(key);
+        if (committed) {
+          reply(client, request_id, true, result);
+        } else {
+          // Preempted by a primary change (Fig 8, outcome 2): point the
+          // client at the new primary so it can reissue.
+          redirect(client, request_id);
+        }
+      });
+}
+
+void PassiveService::reply(ProcessId client, std::uint64_t request_id, bool ok,
+                           const Bytes& result) {
+  Encoder enc;
+  enc.put_byte(kResponse);
+  enc.put_u64(request_id);
+  enc.put_bool(ok);
+  enc.put_bytes(result);
+  stack_.channel().send(client, Tag::kApp, enc.take());
+}
+
+void PassiveService::redirect(ProcessId client, std::uint64_t request_id) {
+  Encoder enc;
+  enc.put_byte(kRedirect);
+  enc.put_u64(request_id);
+  enc.put_i32(passive_->primary());
+  stack_.channel().send(client, Tag::kApp, enc.take());
+  stack_.metrics().inc("service.redirects_sent");
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+Client::Client(sim::Context& ctx, sim::Network& network, std::vector<ProcessId> replicas)
+    : Client(ctx, network, std::move(replicas), Config{}) {}
+
+Client::Client(sim::Context& ctx, sim::Network& network, std::vector<ProcessId> replicas,
+               Config config)
+    : ctx_(ctx), transport_(ctx, network), channel_(ctx, transport_),
+      replicas_(std::move(replicas)), config_(config) {
+  channel_.subscribe(Tag::kApp,
+                     [this](ProcessId from, const Bytes& b) { on_message(from, b); });
+}
+
+void Client::submit(Bytes command, DoneFn done) {
+  const std::uint64_t request_id = next_request_id_++;
+  PendingRequest req;
+  req.command = std::move(command);
+  req.done = std::move(done);
+  req.target = replicas_[next_replica_ % replicas_.size()];
+  pending_.emplace(request_id, std::move(req));
+  attempt(request_id);
+}
+
+void Client::attempt(std::uint64_t request_id) {
+  auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;
+  PendingRequest& req = it->second;
+  if (req.attempts >= config_.max_attempts) {
+    DoneFn done = std::move(req.done);
+    pending_.erase(it);
+    if (done) done(false, {});
+    return;
+  }
+  ++req.attempts;
+  if (req.attempts > 1) ++retries_;
+  Encoder enc;
+  enc.put_byte(kRequest);
+  enc.put_u64(request_id);
+  enc.put_bytes(req.command);
+  channel_.send(req.target, Tag::kApp, enc.take());
+  // Arm the retry timer: on timeout, rotate to the next replica.
+  req.timer = ctx_.after(config_.request_timeout, [this, request_id] {
+    auto pit = pending_.find(request_id);
+    if (pit == pending_.end()) return;
+    next_replica_ = (next_replica_ + 1) % replicas_.size();
+    pit->second.target = replicas_[next_replica_];
+    attempt(request_id);
+  });
+}
+
+void Client::on_message(ProcessId /*from*/, const Bytes& payload) {
+  Decoder dec(payload);
+  const std::uint8_t kind = dec.get_byte();
+  const std::uint64_t request_id = dec.get_u64();
+  auto it = pending_.find(request_id);
+  if (it == pending_.end() || !dec.ok()) return;
+  if (kind == kResponse) {
+    const bool ok = dec.get_bool();
+    Bytes result = dec.get_bytes();
+    if (!dec.ok()) return;
+    ctx_.cancel(it->second.timer);
+    DoneFn done = std::move(it->second.done);
+    pending_.erase(it);
+    if (done) done(ok, result);
+  } else if (kind == kRedirect) {
+    const ProcessId primary = dec.get_i32();
+    if (!dec.ok()) return;
+    ++redirects_followed_;
+    ctx_.cancel(it->second.timer);
+    if (primary >= 0) it->second.target = primary;
+    attempt(request_id);
+  }
+}
+
+}  // namespace gcs::replication

@@ -1,0 +1,159 @@
+/// \file client.hpp
+/// Client access to replicated services (the missing half of Fig 8).
+///
+/// The paper's passive-replication scenario ends with: "The client will
+/// timeout, learn that s2 is the new primary, and reissue its request."
+/// This module implements that client, plus its active-replication
+/// counterpart:
+///
+///   - Client: lives OUTSIDE the group (a universe process that is never a
+///     member). Submits requests over the reliable channel, retries on
+///     timeout, follows redirects to the current primary.
+///   - ActiveService / PassiveService: server-side adapters that accept
+///     remote requests, answer redirects, and give *exactly-once*
+///     semantics through a replicated request cache: a retried request
+///     whose original execution committed returns the cached result
+///     instead of executing twice.
+///
+/// Exactly-once mechanics: commands travel through the group wrapped as
+/// (client, request-id, command); CachingStateMachine applies the inner
+/// command at most once per (client, request-id) and caches the result —
+/// deterministically, so any replica (e.g. a new primary) can answer a
+/// retry of a command committed under its predecessor.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "channel/reliable_channel.hpp"
+#include "replication/passive.hpp"
+#include "replication/state_machine.hpp"
+#include "sim/context.hpp"
+#include "transport/sim_transport.hpp"
+
+namespace gcs::replication {
+
+/// Deterministic exactly-once wrapper: commands are (client, request-id,
+/// inner-command) triples; duplicates return the cached result without
+/// re-executing. The cache is part of the replicated state (snapshots
+/// include it), so it is identical at every replica.
+class CachingStateMachine final : public StateMachine {
+ public:
+  explicit CachingStateMachine(std::unique_ptr<StateMachine> inner)
+      : inner_(std::move(inner)) {}
+
+  static Bytes wrap(ProcessId client, std::uint64_t request_id, const Bytes& command);
+
+  Bytes apply(const Bytes& wrapped) override;
+  Bytes snapshot() const override;
+  void restore(const Bytes& snapshot) override;
+
+  /// Cached result for a (client, request) pair, if it committed already.
+  std::optional<Bytes> cached(ProcessId client, std::uint64_t request_id) const;
+
+  StateMachine& inner() { return *inner_; }
+  std::uint64_t duplicates_suppressed() const { return duplicates_; }
+
+ private:
+  std::unique_ptr<StateMachine> inner_;
+  std::map<std::pair<ProcessId, std::uint64_t>, Bytes> cache_;
+  std::uint64_t duplicates_ = 0;
+};
+
+/// Server-side adapter: remote clients drive an actively replicated state
+/// machine. Any replica accepts requests.
+class ActiveService {
+ public:
+  ActiveService(GcsStack& stack, std::unique_ptr<StateMachine> sm);
+
+  StateMachine& state() { return machine_.inner(); }
+  CachingStateMachine& caching_machine() { return machine_; }
+  std::uint64_t applied() const { return applied_; }
+
+ private:
+  void on_request(ProcessId client, const Bytes& payload);
+  void on_adeliver(const Bytes& wrapped);
+  void reply(ProcessId client, std::uint64_t request_id, const Bytes& result);
+
+  GcsStack& stack_;
+  CachingStateMachine machine_;
+  // Requests this replica received and must answer once applied.
+  std::set<std::pair<ProcessId, std::uint64_t>> waiting_;
+  std::uint64_t applied_ = 0;
+};
+
+/// Server-side adapter for passive replication: only the primary executes,
+/// backups send redirects (so the client "learns that s2 is the new
+/// primary" — Fig 8).
+class PassiveService {
+ public:
+  PassiveService(GcsStack& stack, std::unique_ptr<StateMachine> sm,
+                 PassiveReplication::Config config = {});
+
+  PassiveReplication& replication() { return *passive_; }
+  StateMachine& state();
+  CachingStateMachine& caching_machine();
+
+ private:
+  void on_request(ProcessId client, const Bytes& payload);
+  void reply(ProcessId client, std::uint64_t request_id, bool ok, const Bytes& result);
+  void redirect(ProcessId client, std::uint64_t request_id);
+
+  GcsStack& stack_;
+  CachingStateMachine* machine_;  // owned by passive_
+  std::unique_ptr<PassiveReplication> passive_;
+  std::set<std::pair<ProcessId, std::uint64_t>> executing_;
+};
+
+/// Client proxy: submits commands, retries on timeout, follows redirects.
+class Client {
+ public:
+  struct Config {
+    /// Give up on a replica after this long and try the next one (or the
+    /// redirect target) — the "client will timeout" of Fig 8.
+    Duration request_timeout = msec(150);
+    /// Total attempts before reporting failure.
+    int max_attempts = 10;
+  };
+
+  /// Completion: ok=false only after max_attempts exhausted.
+  using DoneFn = std::function<void(bool ok, const Bytes& result)>;
+
+  Client(sim::Context& ctx, sim::Network& network, std::vector<ProcessId> replicas,
+         Config config);
+  Client(sim::Context& ctx, sim::Network& network, std::vector<ProcessId> replicas);
+
+  /// Submit a command.
+  void submit(Bytes command, DoneFn done);
+
+  std::uint64_t retries() const { return retries_; }
+  std::uint64_t redirects_followed() const { return redirects_followed_; }
+
+ private:
+  struct PendingRequest {
+    Bytes command;
+    DoneFn done;
+    int attempts = 0;
+    ProcessId target = kNoProcess;
+    sim::TimerId timer = sim::kNoTimer;
+  };
+
+  void attempt(std::uint64_t request_id);
+  void on_message(ProcessId from, const Bytes& payload);
+
+  sim::Context& ctx_;
+  SimTransport transport_;
+  ReliableChannel channel_;
+  std::vector<ProcessId> replicas_;
+  Config config_;
+  std::size_t next_replica_ = 0;
+  std::uint64_t next_request_id_ = 0;
+  std::map<std::uint64_t, PendingRequest> pending_;
+  std::uint64_t retries_ = 0;
+  std::uint64_t redirects_followed_ = 0;
+};
+
+}  // namespace gcs::replication

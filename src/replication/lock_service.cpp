@@ -1,0 +1,210 @@
+#include "replication/lock_service.hpp"
+
+#include <algorithm>
+
+namespace gcs::replication {
+
+// ---------------------------------------------------------------------------
+// LockTable
+// ---------------------------------------------------------------------------
+
+Bytes LockTable::make_acquire(const std::string& lock, const std::string& owner) {
+  Encoder enc;
+  enc.put_byte(kAcquire);
+  enc.put_string(lock);
+  enc.put_string(owner);
+  return enc.take();
+}
+
+Bytes LockTable::make_release(const std::string& lock, const std::string& owner) {
+  Encoder enc;
+  enc.put_byte(kRelease);
+  enc.put_string(lock);
+  enc.put_string(owner);
+  return enc.take();
+}
+
+Bytes LockTable::make_cleanup(const std::string& owner) {
+  Encoder enc;
+  enc.put_byte(kCleanup);
+  enc.put_string("");
+  enc.put_string(owner);
+  return enc.take();
+}
+
+std::pair<bool, std::string> LockTable::decode_result(const Bytes& result) {
+  Decoder dec(result);
+  const bool granted = dec.get_bool();
+  std::string holder = dec.get_string();
+  return {granted && dec.ok(), std::move(holder)};
+}
+
+void LockTable::grant_front(const std::string& lock) {
+  auto it = queues_.find(lock);
+  if (it == queues_.end() || it->second.empty()) return;
+  grant_log_.emplace_back(lock, it->second.front());
+}
+
+Bytes LockTable::apply(const Bytes& command) {
+  Decoder dec(command);
+  const std::uint8_t op = dec.get_byte();
+  const std::string lock = dec.get_string();
+  const std::string owner = dec.get_string();
+  Encoder out;
+  if (!dec.ok()) {
+    out.put_bool(false);
+    out.put_string("");
+    return out.take();
+  }
+  switch (op) {
+    case kAcquire: {
+      auto& q = queues_[lock];
+      if (std::find(q.begin(), q.end(), owner) == q.end()) {
+        q.push_back(owner);
+        if (q.size() == 1) grant_front(lock);  // free lock: immediate grant
+      }
+      out.put_bool(q.front() == owner);
+      out.put_string(q.front());
+      break;
+    }
+    case kRelease: {
+      auto it = queues_.find(lock);
+      if (it != queues_.end()) {
+        auto& q = it->second;
+        const bool was_holder = !q.empty() && q.front() == owner;
+        q.erase(std::remove(q.begin(), q.end(), owner), q.end());
+        if (was_holder) grant_front(lock);  // next in line takes over
+        if (q.empty()) queues_.erase(it);
+      }
+      out.put_bool(true);
+      out.put_string(holder(lock));
+      break;
+    }
+    case kCleanup: {
+      // Remove the owner everywhere; grant whatever it was holding.
+      for (auto it = queues_.begin(); it != queues_.end();) {
+        auto& q = it->second;
+        const bool was_holder = !q.empty() && q.front() == owner;
+        q.erase(std::remove(q.begin(), q.end(), owner), q.end());
+        if (was_holder) grant_front(it->first);
+        it = q.empty() ? queues_.erase(it) : ++it;
+      }
+      out.put_bool(true);
+      out.put_string("");
+      break;
+    }
+    default:
+      out.put_bool(false);
+      out.put_string("");
+      break;
+  }
+  return out.take();
+}
+
+Bytes LockTable::snapshot() const {
+  Encoder enc;
+  enc.put_u64(queues_.size());
+  for (const auto& [lock, q] : queues_) {
+    enc.put_string(lock);
+    enc.put_u64(q.size());
+    for (const auto& owner : q) enc.put_string(owner);
+  }
+  enc.put_u64(grant_log_.size());
+  for (const auto& [lock, owner] : grant_log_) {
+    enc.put_string(lock);
+    enc.put_string(owner);
+  }
+  return enc.take();
+}
+
+void LockTable::restore(const Bytes& snapshot) {
+  queues_.clear();
+  grant_log_.clear();
+  Decoder dec(snapshot);
+  const std::uint64_t locks = dec.get_u64();
+  for (std::uint64_t i = 0; i < locks && dec.ok(); ++i) {
+    const std::string lock = dec.get_string();
+    const std::uint64_t len = dec.get_u64();
+    auto& q = queues_[lock];
+    for (std::uint64_t j = 0; j < len && dec.ok(); ++j) q.push_back(dec.get_string());
+  }
+  const std::uint64_t grants = dec.get_u64();
+  for (std::uint64_t i = 0; i < grants && dec.ok(); ++i) {
+    const std::string lock = dec.get_string();
+    grant_log_.emplace_back(lock, dec.get_string());
+  }
+}
+
+std::string LockTable::holder(const std::string& lock) const {
+  auto it = queues_.find(lock);
+  return (it == queues_.end() || it->second.empty()) ? "" : it->second.front();
+}
+
+std::size_t LockTable::queue_length(const std::string& lock) const {
+  auto it = queues_.find(lock);
+  return it == queues_.end() ? 0 : it->second.size();
+}
+
+// ---------------------------------------------------------------------------
+// LockService
+// ---------------------------------------------------------------------------
+
+LockService::LockService(GcsStack& stack)
+    : stack_(stack), owned_table_(std::make_unique<LockTable>()),
+      tag_(owner_tag(stack.self())) {
+  table_ = owned_table_.get();
+  prev_members_ = stack_.view().members;
+  stack_.on_adeliver([this](const MsgId&, const Bytes& command) {
+    table_->apply(command);
+    on_apply();
+  });
+  stack_.on_view([this](const View& v) { on_view(v); });
+  stack_.membership().set_snapshot_provider([this] { return table_->snapshot(); });
+  stack_.membership().set_snapshot_installer([this](const Bytes& s) {
+    table_->restore(s);
+    grants_seen_ = table_->grant_log().size();
+  });
+}
+
+void LockService::acquire(const std::string& lock, GrantedFn on_granted) {
+  if (holds(lock) || waiting_.count(lock)) return;
+  waiting_[lock] = std::move(on_granted);
+  stack_.abcast(LockTable::make_acquire(lock, tag_));
+}
+
+void LockService::release(const std::string& lock) {
+  waiting_.erase(lock);
+  stack_.abcast(LockTable::make_release(lock, tag_));
+}
+
+bool LockService::holds(const std::string& lock) const {
+  return table_->holder(lock) == tag_;
+}
+
+void LockService::on_apply() {
+  // Fire grant callbacks for every new grant aimed at us.
+  const auto& log = table_->grant_log();
+  while (grants_seen_ < log.size()) {
+    const auto& [lock, owner] = log[grants_seen_++];
+    if (owner != tag_) continue;
+    auto it = waiting_.find(lock);
+    if (it == waiting_.end()) continue;
+    GrantedFn fn = std::move(it->second);
+    waiting_.erase(it);
+    if (fn) fn(lock);
+  }
+}
+
+void LockService::on_view(const View& v) {
+  // Crash cleanup: the view head submits one cleanup command per departed
+  // member (deterministic single submitter; dedup at the table is a no-op
+  // for absent owners anyway).
+  for (ProcessId p : prev_members_) {
+    if (!v.contains(p) && v.primary() == stack_.self()) {
+      stack_.abcast(LockTable::make_cleanup(owner_tag(p)));
+    }
+  }
+  prev_members_ = v.members;
+}
+
+}  // namespace gcs::replication

@@ -1,0 +1,87 @@
+/// \file lock_service.hpp
+/// A replicated lock service — the classic group-communication application
+/// (mutual exclusion via total order): acquire/release commands are
+/// atomically broadcast, every replica replays the same queue transitions,
+/// so the holder sequence of every lock is identical everywhere. When the
+/// membership excludes a crashed holder, its locks are cleaned up and
+/// granted onward.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "core/stack.hpp"
+#include "replication/state_machine.hpp"
+
+namespace gcs::replication {
+
+/// The deterministic state machine: named FIFO lock queues.
+class LockTable final : public StateMachine {
+ public:
+  enum Op : std::uint8_t { kAcquire = 0, kRelease = 1, kCleanup = 2 };
+
+  static Bytes make_acquire(const std::string& lock, const std::string& owner);
+  static Bytes make_release(const std::string& lock, const std::string& owner);
+  /// Remove \p owner from every queue (crash cleanup).
+  static Bytes make_cleanup(const std::string& owner);
+
+  /// Result: (granted-to-requester now?, current holder).
+  static std::pair<bool, std::string> decode_result(const Bytes& result);
+
+  Bytes apply(const Bytes& command) override;
+  Bytes snapshot() const override;
+  void restore(const Bytes& snapshot) override;
+
+  /// Current holder of \p lock ("" if free).
+  std::string holder(const std::string& lock) const;
+  std::size_t queue_length(const std::string& lock) const;
+
+  /// Full grant history per lock (the mutual-exclusion audit trail):
+  /// every holder in order. Identical at every replica.
+  const std::vector<std::pair<std::string, std::string>>& grant_log() const {
+    return grant_log_;
+  }
+
+ private:
+  void grant_front(const std::string& lock);
+
+  std::map<std::string, std::deque<std::string>> queues_;
+  std::vector<std::pair<std::string, std::string>> grant_log_;  // (lock, owner)
+};
+
+/// Per-replica facade: submit lock operations, get grant notifications.
+class LockService {
+ public:
+  /// Fired when OUR pending acquire reaches the front of the queue.
+  using GrantedFn = std::function<void(const std::string& lock)>;
+
+  explicit LockService(GcsStack& stack);
+
+  /// Request the lock; on_granted fires (possibly much later) when we hold
+  /// it. Re-acquiring a lock we already hold or wait for is a no-op.
+  void acquire(const std::string& lock, GrantedFn on_granted);
+
+  /// Release a lock we hold (or abandon our queue slot).
+  void release(const std::string& lock);
+
+  bool holds(const std::string& lock) const;
+  const LockTable& table() const { return *table_; }
+  const std::string& my_tag() const { return tag_; }
+
+ private:
+  void on_apply();
+  void on_view(const View& v);
+  static std::string owner_tag(ProcessId p) { return "p" + std::to_string(p); }
+
+  GcsStack& stack_;
+  LockTable* table_;  // owned via ActiveReplication-like wiring below
+  std::unique_ptr<LockTable> owned_table_;
+  std::string tag_;
+  std::map<std::string, GrantedFn> waiting_;
+  std::size_t grants_seen_ = 0;
+  std::vector<ProcessId> prev_members_;
+};
+
+}  // namespace gcs::replication

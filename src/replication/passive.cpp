@@ -1,0 +1,161 @@
+#include "replication/passive.hpp"
+
+#include <algorithm>
+
+#include "util/codec.hpp"
+
+namespace gcs::replication {
+
+namespace {
+// Payload kinds inside gbcast messages.
+constexpr std::uint8_t kUpdate = 0;        // class kRbcastClass
+constexpr std::uint8_t kPrimaryChange = 1; // class kAbcastClass
+}  // namespace
+
+PassiveReplication::PassiveReplication(GcsStack& stack, std::unique_ptr<StateMachine> sm)
+    : PassiveReplication(stack, std::move(sm), Config{}) {}
+
+PassiveReplication::PassiveReplication(GcsStack& stack, std::unique_ptr<StateMachine> sm,
+                                       Config config)
+    : stack_(stack), sm_(std::move(sm)), config_(config),
+      fd_class_(stack.fd().add_class(config.primary_suspect_timeout)) {
+  order_ = stack_.view().members;
+  stack_.on_gdeliver([this](const MsgId& id, MsgClass cls, const Bytes& b) {
+    on_gdeliver(id, cls, b);
+  });
+  stack_.on_view([this](const View& v) { on_view(v); });
+  stack_.fd().on_suspect(fd_class_, [this](ProcessId q) { on_primary_suspect(q); });
+  if (!order_.empty() && primary() != stack_.self()) {
+    stack_.fd().monitor(fd_class_, primary());
+  }
+  stack_.membership().set_snapshot_provider([this] { return sm_->snapshot(); });
+  stack_.membership().set_snapshot_installer(
+      [this](const Bytes& snapshot) { sm_->restore(snapshot); });
+}
+
+void PassiveReplication::handle_request(const Bytes& command, ResultFn on_result) {
+  if (!is_primary()) {
+    // Not the primary: the client must retry at the right replica.
+    if (on_result) on_result(false, {});
+    return;
+  }
+  // The primary processes the request (deterministically re-executed by the
+  // backups on update delivery) and broadcasts the update with its epoch.
+  Encoder enc;
+  enc.put_byte(kUpdate);
+  enc.put_u64(epoch_);
+  enc.put_u64(next_update_seq_++);
+  enc.put_bytes(command);
+  const MsgId id = stack_.gbcast(kRbcastClass, enc.take());
+  if (on_result) pending_.emplace(id, std::move(on_result));
+  stack_.metrics().inc("passive.requests_handled");
+}
+
+void PassiveReplication::request_primary_change() {
+  if (change_pending_) return;
+  change_pending_ = true;
+  Encoder enc;
+  enc.put_byte(kPrimaryChange);
+  enc.put_u64(epoch_);
+  enc.put_i32(primary());  // the primary being deposed
+  stack_.gbcast(kAbcastClass, enc.take());
+  stack_.metrics().inc("passive.primary_changes_requested");
+}
+
+void PassiveReplication::on_primary_suspect(ProcessId q) {
+  if (!config_.auto_primary_change) return;
+  if (q != primary() || is_primary()) return;
+  request_primary_change();
+}
+
+void PassiveReplication::on_gdeliver(const MsgId& id, MsgClass /*cls*/, const Bytes& payload) {
+  Decoder dec(payload);
+  const std::uint8_t kind = dec.get_byte();
+  const std::uint64_t msg_epoch = dec.get_u64();
+  if (kind == kUpdate) {
+    const std::uint64_t seq = dec.get_u64();
+    Bytes command = dec.get_bytes();
+    if (!dec.ok()) return;
+    if (msg_epoch != epoch_) {
+      // Fig 8, outcome 2: the primary change was delivered first; this
+      // update belongs to a deposed primary and must be ignored.
+      ++updates_ignored_;
+      stack_.metrics().inc("passive.updates_ignored");
+      auto it = pending_.find(id);
+      if (it != pending_.end()) {
+        if (it->second) it->second(false, {});
+        pending_.erase(it);
+      }
+      return;
+    }
+    // FIFO within the epoch.
+    holdback_.emplace(seq, std::make_pair(id, std::move(command)));
+    drain_holdback();
+  } else if (kind == kPrimaryChange) {
+    if (!dec.ok() || msg_epoch != epoch_) return;  // stale change: ignored
+    // Rotate the list: [s1; s2; s3] -> [s2; s3; s1] (footnote 10: the old
+    // primary is NOT excluded).
+    std::rotate(order_.begin(), order_.begin() + 1, order_.end());
+    ++epoch_;
+    ++primary_changes_;
+    change_pending_ = false;
+    next_update_seq_ = 0;
+    next_expected_seq_ = 0;
+    // Updates held back from the old epoch are now stale: fail them.
+    for (auto& [seq, entry] : holdback_) {
+      (void)seq;
+      ++updates_ignored_;
+      auto it = pending_.find(entry.first);
+      if (it != pending_.end()) {
+        if (it->second) it->second(false, {});
+        pending_.erase(it);
+      }
+    }
+    holdback_.clear();
+    stack_.metrics().inc("passive.primary_changes_applied");
+    // Re-point the failure detector at the new primary.
+    if (!is_primary()) stack_.fd().monitor(fd_class_, primary());
+  }
+}
+
+void PassiveReplication::drain_holdback() {
+  while (!holdback_.empty() && holdback_.begin()->first == next_expected_seq_) {
+    auto node = holdback_.extract(holdback_.begin());
+    ++next_expected_seq_;
+    const MsgId& id = node.mapped().first;
+    Bytes result = sm_->apply(node.mapped().second);
+    ++updates_applied_;
+    stack_.metrics().inc("passive.updates_applied");
+    auto it = pending_.find(id);
+    if (it != pending_.end()) {
+      if (it->second) it->second(true, result);
+      pending_.erase(it);
+    }
+  }
+}
+
+void PassiveReplication::on_view(const View& v) {
+  // Reconcile the rotation with the membership: drop departed replicas,
+  // append joiners at the tail, preserving the current rotation prefix.
+  std::vector<ProcessId> next;
+  for (ProcessId p : order_) {
+    if (v.contains(p)) next.push_back(p);
+  }
+  for (ProcessId p : v.members) {
+    if (std::find(next.begin(), next.end(), p) == next.end()) next.push_back(p);
+  }
+  const ProcessId old_primary = primary();
+  order_ = std::move(next);
+  if (primary() != old_primary) {
+    // The primary itself was excluded by the membership: epoch advances so
+    // its in-flight updates die.
+    ++epoch_;
+    next_update_seq_ = 0;
+    next_expected_seq_ = 0;
+    holdback_.clear();
+    change_pending_ = false;
+  }
+  if (!order_.empty() && !is_primary()) stack_.fd().monitor(fd_class_, primary());
+}
+
+}  // namespace gcs::replication

@@ -1,0 +1,99 @@
+/// \file passive.hpp
+/// Passive replication (primary-backup) over generic broadcast — the
+/// paper's Figure 8 scenario and §3.2.3 conflict table.
+///
+/// The primary is the head of a rotating replica list. It handles client
+/// requests and generic-broadcasts `update` messages (non-conflicting
+/// class: updates commute with each other, so they take the fast path).
+/// When a backup suspects the primary it generic-broadcasts a
+/// `primary-change` message (conflicting class). The conflict relation
+/// (§3.2.3) guarantees exactly two outcomes for a racing update/change
+/// pair:
+///   1. the update is delivered first: it commits under the old primary;
+///   2. the primary-change is delivered first: the update, now carrying a
+///      stale epoch, is IGNORED by every replica — the client times out
+///      and reissues to the new primary.
+/// A primary change does NOT exclude the old primary from the membership
+/// (footnote 10); a truly crashed primary is removed much later by the
+/// monitoring component.
+///
+/// The paper requires FIFO generic broadcast for updates; our generic
+/// broadcast is unordered on the fast path, so this layer adds per-epoch
+/// sequence numbers with a hold-back queue.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "core/stack.hpp"
+#include "replication/state_machine.hpp"
+
+namespace gcs::replication {
+
+class PassiveReplication {
+ public:
+  using ResultFn = std::function<void(bool committed, const Bytes& result)>;
+
+  struct Config {
+    /// Suspicion timeout for the primary (its own FD class). Aggressive
+    /// values are fine: a false primary change costs one rotation, never an
+    /// exclusion.
+    Duration primary_suspect_timeout = msec(120);
+    /// Automatically issue primary-change on suspicion. Disable to drive
+    /// primary changes manually (tests, Fig 8 reproduction).
+    bool auto_primary_change = true;
+  };
+
+  PassiveReplication(GcsStack& stack, std::unique_ptr<StateMachine> sm, Config config);
+  PassiveReplication(GcsStack& stack, std::unique_ptr<StateMachine> sm);
+
+  /// Handle a client request. Must be invoked on the current primary;
+  /// other replicas report failure immediately (the client should retry at
+  /// the primary). \p on_result fires with committed=true when the update
+  /// is delivered under the issuing epoch, committed=false if it was
+  /// preempted by a primary change (Fig 8, outcome 2).
+  void handle_request(const Bytes& command, ResultFn on_result);
+
+  /// Force a primary change now (Fig 8 reproduction / manual policies).
+  void request_primary_change();
+
+  bool is_primary() const { return primary() == stack_.self(); }
+  ProcessId primary() const { return order_.empty() ? kNoProcess : order_.front(); }
+  const std::vector<ProcessId>& replica_order() const { return order_; }
+  std::uint64_t epoch() const { return epoch_; }
+
+  StateMachine& state() { return *sm_; }
+  std::uint64_t updates_applied() const { return updates_applied_; }
+  std::uint64_t updates_ignored() const { return updates_ignored_; }
+  std::uint64_t primary_changes() const { return primary_changes_; }
+
+ private:
+  void on_gdeliver(const MsgId& id, MsgClass cls, const Bytes& payload);
+  void apply_update(std::uint64_t epoch, std::uint64_t seq, const MsgId& id,
+                    const Bytes& command);
+  void drain_holdback();
+  void on_view(const View& v);
+  void on_primary_suspect(ProcessId q);
+
+  GcsStack& stack_;
+  std::unique_ptr<StateMachine> sm_;
+  Config config_;
+  FailureDetector::ClassId fd_class_;
+
+  std::vector<ProcessId> order_;  // rotating replica list; head = primary
+  std::uint64_t epoch_ = 0;       // incremented per primary change
+  bool change_pending_ = false;   // a primary-change we issued is in flight
+
+  std::uint64_t next_update_seq_ = 0;           // primary side, per epoch
+  std::uint64_t next_expected_seq_ = 0;         // backup side, per epoch
+  std::map<std::uint64_t, std::pair<MsgId, Bytes>> holdback_;  // seq -> update
+  std::map<MsgId, ResultFn> pending_;           // our in-flight updates
+
+  std::uint64_t updates_applied_ = 0;
+  std::uint64_t updates_ignored_ = 0;
+  std::uint64_t primary_changes_ = 0;
+};
+
+}  // namespace gcs::replication

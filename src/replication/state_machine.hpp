@@ -1,0 +1,224 @@
+/// \file state_machine.hpp
+/// Deterministic state machines for replication (paper §3.2.2).
+///
+/// Commands and results are opaque byte strings; implementations must be
+/// deterministic (same command sequence => same state and results) for
+/// active replication to be correct.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "util/codec.hpp"
+#include "util/types.hpp"
+
+namespace gcs::replication {
+
+class StateMachine {
+ public:
+  virtual ~StateMachine() = default;
+  /// Apply a command, mutate state, return the response.
+  virtual Bytes apply(const Bytes& command) = 0;
+  /// Serialize full state (for state transfer to joiners).
+  virtual Bytes snapshot() const = 0;
+  /// Replace state from a snapshot.
+  virtual void restore(const Bytes& snapshot) = 0;
+};
+
+/// The paper's §4.2 example: a bank account whose deposits commute (they
+/// can ride generic broadcast's fast path) while withdrawals must be
+/// totally ordered (a withdrawal may not exceed the balance).
+class BankAccount final : public StateMachine {
+ public:
+  enum Op : std::uint8_t { kDeposit = 0, kWithdraw = 1, kBalance = 2 };
+
+  static Bytes make_deposit(std::int64_t amount) {
+    Encoder enc;
+    enc.put_byte(kDeposit);
+    enc.put_i64(amount);
+    return enc.take();
+  }
+  static Bytes make_withdraw(std::int64_t amount) {
+    Encoder enc;
+    enc.put_byte(kWithdraw);
+    enc.put_i64(amount);
+    return enc.take();
+  }
+  static Bytes make_balance() {
+    Encoder enc;
+    enc.put_byte(kBalance);
+    return enc.take();
+  }
+  /// Decode a response: (ok, value). For deposits/withdrawals value is the
+  /// new balance; a failed withdrawal has ok = false.
+  static std::pair<bool, std::int64_t> decode_result(const Bytes& result) {
+    Decoder dec(result);
+    const bool ok = dec.get_bool();
+    const std::int64_t value = dec.get_i64();
+    return {ok && dec.ok(), value};
+  }
+
+  Bytes apply(const Bytes& command) override {
+    Decoder dec(command);
+    const std::uint8_t op = dec.get_byte();
+    Encoder out;
+    switch (op) {
+      case kDeposit: {
+        const std::int64_t amount = dec.get_i64();
+        balance_ += amount;
+        out.put_bool(true);
+        out.put_i64(balance_);
+        break;
+      }
+      case kWithdraw: {
+        const std::int64_t amount = dec.get_i64();
+        if (amount <= balance_) {
+          balance_ -= amount;
+          out.put_bool(true);
+        } else {
+          out.put_bool(false);  // insufficient funds
+        }
+        out.put_i64(balance_);
+        break;
+      }
+      case kBalance:
+      default:
+        out.put_bool(true);
+        out.put_i64(balance_);
+        break;
+    }
+    return out.take();
+  }
+
+  Bytes snapshot() const override {
+    Encoder enc;
+    enc.put_i64(balance_);
+    return enc.take();
+  }
+  void restore(const Bytes& snapshot) override {
+    Decoder dec(snapshot);
+    balance_ = dec.get_i64();
+  }
+
+  std::int64_t balance() const { return balance_; }
+
+ private:
+  std::int64_t balance_ = 0;
+};
+
+/// A replicated key-value store (for examples and integration tests).
+class KvStore final : public StateMachine {
+ public:
+  enum Op : std::uint8_t { kPut = 0, kGet = 1, kDel = 2 };
+
+  static Bytes make_put(const std::string& key, const std::string& value) {
+    Encoder enc;
+    enc.put_byte(kPut);
+    enc.put_string(key);
+    enc.put_string(value);
+    return enc.take();
+  }
+  static Bytes make_get(const std::string& key) {
+    Encoder enc;
+    enc.put_byte(kGet);
+    enc.put_string(key);
+    return enc.take();
+  }
+  static Bytes make_del(const std::string& key) {
+    Encoder enc;
+    enc.put_byte(kDel);
+    enc.put_string(key);
+    return enc.take();
+  }
+  /// (found, value)
+  static std::pair<bool, std::string> decode_result(const Bytes& result) {
+    Decoder dec(result);
+    const bool found = dec.get_bool();
+    std::string value = dec.get_string();
+    return {found && dec.ok(), std::move(value)};
+  }
+
+  Bytes apply(const Bytes& command) override {
+    Decoder dec(command);
+    const std::uint8_t op = dec.get_byte();
+    const std::string key = dec.get_string();
+    Encoder out;
+    switch (op) {
+      case kPut: {
+        std::string value = dec.get_string();
+        data_[key] = std::move(value);
+        out.put_bool(true);
+        out.put_string(data_[key]);
+        break;
+      }
+      case kGet: {
+        auto it = data_.find(key);
+        out.put_bool(it != data_.end());
+        out.put_string(it != data_.end() ? it->second : "");
+        break;
+      }
+      case kDel:
+      default: {
+        const bool existed = data_.erase(key) > 0;
+        out.put_bool(existed);
+        out.put_string("");
+        break;
+      }
+    }
+    return out.take();
+  }
+
+  Bytes snapshot() const override {
+    Encoder enc;
+    enc.put_u64(data_.size());
+    for (const auto& [k, v] : data_) {
+      enc.put_string(k);
+      enc.put_string(v);
+    }
+    return enc.take();
+  }
+  void restore(const Bytes& snapshot) override {
+    data_.clear();
+    Decoder dec(snapshot);
+    const std::uint64_t n = dec.get_u64();
+    for (std::uint64_t i = 0; i < n && dec.ok(); ++i) {
+      std::string k = dec.get_string();
+      data_[std::move(k)] = dec.get_string();
+    }
+  }
+
+  std::size_t size() const { return data_.size(); }
+  const std::map<std::string, std::string>& data() const { return data_; }
+
+ private:
+  std::map<std::string, std::string> data_;
+};
+
+/// Trivial counter state machine (tests).
+class Counter final : public StateMachine {
+ public:
+  Bytes apply(const Bytes& command) override {
+    Decoder dec(command);
+    count_ += dec.get_i64();
+    Encoder out;
+    out.put_i64(count_);
+    return out.take();
+  }
+  Bytes snapshot() const override {
+    Encoder enc;
+    enc.put_i64(count_);
+    return enc.take();
+  }
+  void restore(const Bytes& snapshot) override {
+    Decoder dec(snapshot);
+    count_ = dec.get_i64();
+  }
+  std::int64_t count() const { return count_; }
+
+ private:
+  std::int64_t count_ = 0;
+};
+
+}  // namespace gcs::replication

@@ -1,0 +1,42 @@
+#include "runtime/realtime_runner.hpp"
+
+#include <thread>
+
+namespace gcs::rt {
+
+namespace {
+TimePoint now_us(std::chrono::steady_clock::time_point origin) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - origin)
+      .count();
+}
+}  // namespace
+
+void RealTimeRunner::step_once(TimePoint virtual_deadline) {
+  engine_.run_until(virtual_deadline);
+  int processed = 0;
+  for (auto& poll : pollables_) processed += poll();
+  if (processed == 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+void RealTimeRunner::run_for(std::chrono::milliseconds wall) {
+  run_until(wall, [] { return false; });
+}
+
+bool RealTimeRunner::run_until(std::chrono::milliseconds wall,
+                               const std::function<bool()>& predicate) {
+  // The engine's virtual clock may already be past zero (previous runs);
+  // anchor wall time so virtual time continues monotonically from now().
+  const auto origin = std::chrono::steady_clock::now();
+  const TimePoint base = engine_.now();
+  const TimePoint budget = std::chrono::duration_cast<std::chrono::microseconds>(wall).count();
+  while (now_us(origin) < budget) {
+    if (predicate()) return true;
+    step_once(base + now_us(origin));
+  }
+  return predicate();
+}
+
+}  // namespace gcs::rt

@@ -1,0 +1,49 @@
+/// \file realtime_runner.hpp
+/// Wall-clock driver: maps the event engine's virtual time onto real time
+/// and interleaves socket polling — the bridge that runs the simulation-
+/// grade protocol stack against real transports.
+///
+/// Usage:
+///   sim::Engine engine;
+///   RealTimeRunner runner(engine);
+///   auto transport = std::make_unique<UdpTransport>(ctx, n, udp_config);
+///   runner.add_pollable([t = transport.get()] { return t->poll(); });
+///   GcsStack stack(engine, std::move(transport), self, seed);
+///   ...
+///   runner.run_for(std::chrono::seconds(2));
+///
+/// The loop stays single-threaded: timers fire when their virtual deadline
+/// maps to a past wall instant, then sockets are drained, then the loop
+/// sleeps briefly. Protocol components are unaware of the difference.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace gcs::rt {
+
+class RealTimeRunner {
+ public:
+  explicit RealTimeRunner(sim::Engine& engine) : engine_(engine) {}
+
+  /// Register a poll function (e.g. UdpTransport::poll); returns how many
+  /// items it processed (used to skip the idle sleep under load).
+  void add_pollable(std::function<int()> poll) { pollables_.push_back(std::move(poll)); }
+
+  /// Run the loop for a real-time duration.
+  void run_for(std::chrono::milliseconds wall);
+
+  /// Run until \p predicate holds or \p wall elapsed; returns predicate().
+  bool run_until(std::chrono::milliseconds wall, const std::function<bool()>& predicate);
+
+ private:
+  void step_once(TimePoint virtual_deadline);
+
+  sim::Engine& engine_;
+  std::vector<std::function<int()>> pollables_;
+};
+
+}  // namespace gcs::rt

@@ -1,0 +1,88 @@
+#include "runtime/udp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace gcs::rt {
+
+namespace {
+sockaddr_in addr_of(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("UdpTransport: bad host " + host);
+  }
+  return addr;
+}
+}  // namespace
+
+UdpTransport::UdpTransport(sim::Context& ctx, int universe_size, Config config)
+    : self_(ctx.self()), universe_size_(universe_size), config_(config),
+      handlers_(static_cast<std::size_t>(Tag::kMax)), alive_(ctx.alive_flag()) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) throw std::runtime_error("UdpTransport: socket() failed");
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  const sockaddr_in addr =
+      addr_of(config_.host, static_cast<std::uint16_t>(config_.base_port + self_));
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("UdpTransport: bind failed for process " +
+                             std::to_string(self_) + ": " + std::strerror(errno));
+  }
+}
+
+UdpTransport::~UdpTransport() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void UdpTransport::u_send(ProcessId to, Tag tag, const Bytes& payload) {
+  if (!*alive_ || to < 0 || to >= universe_size_) return;
+  Bytes datagram;
+  datagram.reserve(payload.size() + 1);
+  datagram.push_back(static_cast<std::uint8_t>(tag));
+  datagram.insert(datagram.end(), payload.begin(), payload.end());
+  const sockaddr_in addr =
+      addr_of(config_.host, static_cast<std::uint16_t>(config_.base_port + to));
+  // Fire and forget: UDP send failures are indistinguishable from loss and
+  // the reliable channel above retransmits anyway.
+  (void)::sendto(fd_, datagram.data(), datagram.size(), 0,
+                 reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+}
+
+void UdpTransport::subscribe(Tag tag, Handler handler) {
+  handlers_[static_cast<std::size_t>(tag)] = std::move(handler);
+}
+
+int UdpTransport::poll() {
+  if (fd_ < 0 || !*alive_) return 0;
+  int processed = 0;
+  std::uint8_t buf[65536];
+  while (true) {
+    sockaddr_in from_addr{};
+    socklen_t from_len = sizeof(from_addr);
+    const ssize_t n = ::recvfrom(fd_, buf, sizeof(buf), 0,
+                                 reinterpret_cast<sockaddr*>(&from_addr), &from_len);
+    if (n <= 0) break;  // EWOULDBLOCK or error: drained
+    const int from_port = ntohs(from_addr.sin_port);
+    const ProcessId from = static_cast<ProcessId>(from_port - config_.base_port);
+    if (from < 0 || from >= universe_size_) continue;
+    const auto tag_idx = static_cast<std::size_t>(buf[0]);
+    if (tag_idx >= handlers_.size() || !handlers_[tag_idx]) continue;
+    const Bytes payload(buf + 1, buf + n);
+    handlers_[tag_idx](from, payload);
+    ++processed;
+  }
+  return processed;
+}
+
+}  // namespace gcs::rt

@@ -1,0 +1,53 @@
+/// \file udp_transport.hpp
+/// Real UDP datagram transport over the loopback interface.
+///
+/// Shows that the protocol components are not simulation-bound: the same
+/// stack (Fig 9) runs unmodified over OS sockets. Each process binds one
+/// non-blocking UDP socket at base_port + id; the source port of an
+/// incoming datagram identifies the sender. Datagrams may be lost (UDP),
+/// which the reliable channel above already handles.
+///
+/// Single-threaded by design: a RealTimeRunner polls poll() from its event
+/// loop, so the protocol components keep their no-locks discipline.
+#pragma once
+
+#include <string>
+
+#include "sim/context.hpp"
+#include "transport/transport.hpp"
+
+namespace gcs::rt {
+
+class UdpTransport final : public Transport {
+ public:
+  struct Config {
+    std::uint16_t base_port = 38000;
+    std::string host = "127.0.0.1";
+  };
+
+  /// Binds base_port + ctx.self(). Throws std::runtime_error on failure.
+  UdpTransport(sim::Context& ctx, int universe_size, Config config);
+  ~UdpTransport() override;
+
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+
+  ProcessId self() const override { return self_; }
+  int universe_size() const override { return universe_size_; }
+  void u_send(ProcessId to, Tag tag, const Bytes& payload) override;
+  void subscribe(Tag tag, Handler handler) override;
+
+  /// Drain pending datagrams and dispatch them. Returns how many were
+  /// processed. Called by the real-time runner's loop.
+  int poll();
+
+ private:
+  ProcessId self_;
+  int universe_size_;
+  Config config_;
+  int fd_ = -1;
+  std::vector<Handler> handlers_;
+  std::shared_ptr<const bool> alive_;
+};
+
+}  // namespace gcs::rt

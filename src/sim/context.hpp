@@ -1,0 +1,72 @@
+/// \file context.hpp
+/// Per-process runtime handed to every protocol component.
+///
+/// A Context bundles what a component needs from its host process: identity,
+/// virtual time, cancellable timers, a deterministic RNG stream, a logger
+/// and a metrics registry. Timers are guarded by the process's liveness
+/// flag, so crashing a process silently disarms all of its pending
+/// callbacks — components never observe their own death.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "sim/engine.hpp"
+#include "util/log.hpp"
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace gcs::sim {
+
+class Context {
+ public:
+  Context(ProcessId self, Engine& engine, Rng rng, Logger log,
+          std::shared_ptr<Metrics> metrics)
+      : self_(self), engine_(engine), rng_(rng), log_(std::move(log)),
+        metrics_(std::move(metrics)), alive_(std::make_shared<bool>(true)) {}
+
+  ProcessId self() const { return self_; }
+  TimePoint now() const { return engine_.now(); }
+  Engine& engine() { return engine_; }
+
+  /// Schedule \p fn after \p delay; suppressed if the process crashes first.
+  TimerId after(Duration delay, std::function<void()> fn) {
+    return engine_.schedule_after(delay, guard(std::move(fn)));
+  }
+
+  /// Schedule \p fn at absolute time \p at; suppressed on crash.
+  TimerId at(TimePoint at, std::function<void()> fn) {
+    return engine_.schedule_at(at, guard(std::move(fn)));
+  }
+
+  void cancel(TimerId id) { engine_.cancel(id); }
+
+  /// Mark this process crashed: all pending and future timers are inert.
+  void kill() { *alive_ = false; }
+  bool alive() const { return *alive_; }
+
+  /// Shared liveness flag, for callbacks that may outlive this Context.
+  std::shared_ptr<const bool> alive_flag() const { return alive_; }
+
+  Rng& rng() { return rng_; }
+  const Logger& log() const { return log_; }
+  Metrics& metrics() { return *metrics_; }
+  std::shared_ptr<Metrics> metrics_ptr() { return metrics_; }
+
+ private:
+  std::function<void()> guard(std::function<void()> fn) {
+    return [alive = alive_, fn = std::move(fn)]() {
+      if (*alive) fn();
+    };
+  }
+
+  ProcessId self_;
+  Engine& engine_;
+  Rng rng_;
+  Logger log_;
+  std::shared_ptr<Metrics> metrics_;
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace gcs::sim

@@ -1,0 +1,50 @@
+#include "sim/engine.hpp"
+
+namespace gcs::sim {
+
+TimerId Engine::schedule_at(TimePoint at, std::function<void()> fn) {
+  if (at < now_) at = now_;
+  const TimerId id = next_id_++;
+  queue_.push(QueueEntry{at, id});
+  handlers_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    const QueueEntry entry = queue_.top();
+    queue_.pop();
+    auto it = handlers_.find(entry.id);
+    if (it == handlers_.end()) continue;  // cancelled
+    // Move the handler out before erasing: the handler may schedule/cancel.
+    std::function<void()> fn = std::move(it->second);
+    handlers_.erase(it);
+    now_ = entry.at;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run(std::uint64_t max_events) {
+  for (std::uint64_t i = 0; i < max_events; ++i) {
+    if (!step()) return;
+  }
+}
+
+void Engine::run_until(TimePoint deadline) {
+  while (!queue_.empty()) {
+    // Skip over cancelled entries at the head without advancing time.
+    const QueueEntry entry = queue_.top();
+    if (handlers_.find(entry.id) == handlers_.end()) {
+      queue_.pop();
+      continue;
+    }
+    if (entry.at > deadline) break;
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace gcs::sim

@@ -1,0 +1,81 @@
+/// \file engine.hpp
+/// Deterministic discrete-event engine driving all simulations.
+///
+/// Events fire in (time, insertion-order) order, so two runs with the same
+/// seed produce identical traces. The engine knows nothing about processes
+/// or networks — it is a cancellable timer wheel over virtual time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+
+#include "util/types.hpp"
+
+namespace gcs::sim {
+
+/// Handle for a scheduled event; used to cancel it.
+using TimerId = std::uint64_t;
+
+inline constexpr TimerId kNoTimer = 0;
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current virtual time.
+  TimePoint now() const { return now_; }
+
+  /// Schedule \p fn at absolute virtual time \p at (clamped to now()).
+  TimerId schedule_at(TimePoint at, std::function<void()> fn);
+
+  /// Schedule \p fn \p delay from now.
+  TimerId schedule_after(Duration delay, std::function<void()> fn) {
+    return schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  /// Cancel a scheduled event. Cancelling an already-fired or unknown id is
+  /// a no-op, so callers need not track lifetimes precisely.
+  void cancel(TimerId id) { handlers_.erase(id); }
+
+  /// Run the single earliest event. Returns false if the queue is empty.
+  bool step();
+
+  /// Run until the queue is empty or \p max_events were processed.
+  void run(std::uint64_t max_events = std::numeric_limits<std::uint64_t>::max());
+
+  /// Run all events with time <= deadline, then advance now() to deadline.
+  void run_until(TimePoint deadline);
+
+  /// Run events for \p d of virtual time from now().
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  /// Number of scheduled (uncancelled) events.
+  std::size_t pending() const { return handlers_.size(); }
+
+  /// Total number of events executed since construction.
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct QueueEntry {
+    TimePoint at;
+    TimerId id;
+    // Earliest time first; equal times fire in schedule order (id order).
+    bool operator>(const QueueEntry& o) const {
+      return at != o.at ? at > o.at : id > o.id;
+    }
+  };
+
+  TimePoint now_ = 0;
+  TimerId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
+  // Lazy deletion: cancelled ids are simply absent from this map.
+  std::unordered_map<TimerId, std::function<void()>> handlers_;
+};
+
+}  // namespace gcs::sim

@@ -1,0 +1,89 @@
+#include "sim/network.hpp"
+
+#include <cassert>
+
+namespace gcs::sim {
+
+Network::Network(Engine& engine, int n, LinkModel default_link, std::uint64_t seed)
+    : engine_(engine), n_(n), rng_(seed), handlers_(static_cast<std::size_t>(n)),
+      crashed_(static_cast<std::size_t>(n), false),
+      links_(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), default_link),
+      component_of_(static_cast<std::size_t>(n), -1) {
+  for (ProcessId p = 0; p < n; ++p) link(p, p) = LinkModel::loopback();
+}
+
+void Network::set_handler(ProcessId p, Handler handler) {
+  assert(p >= 0 && p < n_);
+  handlers_[static_cast<std::size_t>(p)] = std::move(handler);
+}
+
+void Network::send(ProcessId from, ProcessId to, Bytes payload) {
+  assert(from >= 0 && from < n_ && to >= 0 && to < n_);
+  metrics_.inc("net.sent");
+  metrics_.inc("net.bytes_sent", static_cast<std::int64_t>(payload.size()));
+  if (tap_) tap_(from, to, payload);
+  if (crashed_[static_cast<std::size_t>(from)]) return;  // dead senders send nothing
+  const LinkModel& m = link(from, to);
+  if (m.drop_probability > 0.0 && rng_.chance(m.drop_probability)) {
+    metrics_.inc("net.dropped");
+    return;
+  }
+  const Duration jitter = m.jitter > 0 ? rng_.next_range(0, m.jitter) : 0;
+  engine_.schedule_after(m.base_delay + jitter,
+                         [this, from, to, payload = std::move(payload)]() {
+                           if (crashed_[static_cast<std::size_t>(to)]) return;
+                           if (!connected(from, to)) {
+                             metrics_.inc("net.partition_dropped");
+                             return;
+                           }
+                           auto& handler = handlers_[static_cast<std::size_t>(to)];
+                           if (!handler) return;
+                           metrics_.inc("net.delivered");
+                           handler(from, payload);
+                         });
+}
+
+void Network::crash(ProcessId p) {
+  assert(p >= 0 && p < n_);
+  crashed_[static_cast<std::size_t>(p)] = true;
+}
+
+void Network::partition(const std::vector<std::vector<ProcessId>>& components) {
+  partitioned_ = true;
+  // Unlisted processes become isolated: give them unique negative-free ids
+  // after the listed components.
+  std::fill(component_of_.begin(), component_of_.end(), -1);
+  int next = 0;
+  for (const auto& component : components) {
+    for (ProcessId p : component) {
+      assert(p >= 0 && p < n_);
+      component_of_[static_cast<std::size_t>(p)] = next;
+    }
+    ++next;
+  }
+  for (auto& c : component_of_) {
+    if (c == -1) c = next++;
+  }
+}
+
+void Network::heal() { partitioned_ = false; }
+
+bool Network::connected(ProcessId a, ProcessId b) const {
+  if (a == b) return true;
+  if (!partitioned_) return true;
+  return component_of_[static_cast<std::size_t>(a)] == component_of_[static_cast<std::size_t>(b)];
+}
+
+void Network::set_link(ProcessId from, ProcessId to, LinkModel model) {
+  link(from, to) = model;
+}
+
+void Network::set_all_links(LinkModel model) {
+  for (ProcessId i = 0; i < n_; ++i) {
+    for (ProcessId j = 0; j < n_; ++j) {
+      link(i, j) = (i == j) ? LinkModel::loopback() : model;
+    }
+  }
+}
+
+}  // namespace gcs::sim

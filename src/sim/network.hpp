@@ -1,0 +1,92 @@
+/// \file network.hpp
+/// Simulated unreliable datagram network.
+///
+/// Models per-link latency (base + uniform jitter), probabilistic loss,
+/// network partitions and process crashes. This is the "Unreliable
+/// Transport" box at the bottom of the paper's Figure 9: messages may be
+/// dropped or reordered (jitter reorders), but are never corrupted or
+/// duplicated by the network itself.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace gcs::sim {
+
+/// Latency / loss model for a directed link.
+struct LinkModel {
+  Duration base_delay = usec(200);   ///< minimum one-way latency
+  Duration jitter = usec(100);       ///< uniform extra latency in [0, jitter]
+  double drop_probability = 0.0;     ///< independent per-message loss
+
+  /// Delay for processes talking to themselves (loopback).
+  static LinkModel loopback() { return LinkModel{usec(5), usec(0), 0.0}; }
+};
+
+class Network {
+ public:
+  using Handler = std::function<void(ProcessId from, const Bytes& payload)>;
+
+  /// \param n universe size: processes are 0..n-1.
+  Network(Engine& engine, int n, LinkModel default_link, std::uint64_t seed);
+
+  int size() const { return n_; }
+  Engine& engine() { return engine_; }
+
+  /// Install the receive handler for process \p p (done by its node harness).
+  void set_handler(ProcessId p, Handler handler);
+
+  /// Unreliable send. The message is delivered later (per the link model)
+  /// unless dropped, the destination has crashed, or the two processes are
+  /// in different partitions *at delivery time*.
+  void send(ProcessId from, ProcessId to, Bytes payload);
+
+  /// -- fault injection ------------------------------------------------
+
+  /// Permanently crash \p p: all queued and future deliveries to it vanish.
+  void crash(ProcessId p);
+  bool alive(ProcessId p) const { return crashed_.size() > static_cast<std::size_t>(p) ? !crashed_[p] : true; }
+
+  /// Partition the universe into components; messages cross components only
+  /// after heal(). Processes not listed are isolated (their own singleton).
+  void partition(const std::vector<std::vector<ProcessId>>& components);
+  void heal();
+  bool connected(ProcessId a, ProcessId b) const;
+
+  /// Override the model for one directed link.
+  void set_link(ProcessId from, ProcessId to, LinkModel model);
+  /// Override the model for every link (keeps loopbacks).
+  void set_all_links(LinkModel model);
+
+  /// -- statistics / tracing --------------------------------------------
+  Metrics& metrics() { return metrics_; }
+
+  /// Wire tap: observe every datagram at SEND time (before loss/partition
+  /// filtering). For trace tooling and tests; keep the callback cheap.
+  using Tap = std::function<void(ProcessId from, ProcessId to, const Bytes& payload)>;
+  void set_tap(Tap tap) { tap_ = std::move(tap); }
+
+ private:
+  LinkModel& link(ProcessId from, ProcessId to) {
+    return links_[static_cast<std::size_t>(from) * n_ + static_cast<std::size_t>(to)];
+  }
+
+  Engine& engine_;
+  int n_;
+  Rng rng_;
+  std::vector<Handler> handlers_;
+  std::vector<bool> crashed_;
+  std::vector<LinkModel> links_;          // n*n directed links
+  std::vector<int> component_of_;         // partition component id, -1 = healed
+  bool partitioned_ = false;
+  Metrics metrics_;
+  Tap tap_;
+};
+
+}  // namespace gcs::sim

@@ -1,0 +1,422 @@
+#include "traditional/gmvs_stack.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "traditional/sequencer.hpp"
+#include "traditional/token_ring.hpp"
+#include "util/codec.hpp"
+
+namespace gcs::traditional {
+
+namespace {
+// Tag::kVs messages.
+constexpr std::uint8_t kOrdered = 0;
+// Tag::kMembership messages.
+constexpr std::uint8_t kFlushReq = 0;
+constexpr std::uint8_t kFlush = 1;
+constexpr std::uint8_t kJoinReq = 2;
+constexpr std::uint8_t kState = 3;
+
+void encode_log(Encoder& enc, const std::map<std::uint64_t, std::pair<MsgId, Bytes>>& log) {
+  enc.put_u64(log.size());
+  for (const auto& [seq, entry] : log) {
+    enc.put_u64(seq);
+    enc.put_msgid(entry.first);
+    enc.put_bytes(entry.second);
+  }
+}
+
+std::map<std::uint64_t, std::pair<MsgId, Bytes>> decode_log(Decoder& dec) {
+  std::map<std::uint64_t, std::pair<MsgId, Bytes>> log;
+  const std::uint64_t count = dec.get_u64();
+  for (std::uint64_t i = 0; i < count && dec.ok(); ++i) {
+    const std::uint64_t seq = dec.get_u64();
+    const MsgId id = dec.get_msgid();
+    Bytes payload = dec.get_bytes();
+    log.emplace(seq, std::make_pair(id, std::move(payload)));
+  }
+  return log;
+}
+}  // namespace
+
+GmVsStack::GmVsStack(sim::Engine& engine, sim::Network& network, ProcessId self,
+                     std::uint64_t seed, Config config)
+    : network_(&network), config_(config) {
+  Rng rng(seed ^ (0xc2b2ae3d27d4eb4fULL * static_cast<std::uint64_t>(self + 1)));
+  Logger log("t" + std::to_string(self), [&engine] { return engine.now(); });
+  ctx_ = std::make_unique<sim::Context>(self, engine, rng, log, std::make_shared<Metrics>());
+  transport_ = std::make_unique<SimTransport>(*ctx_, network);
+  channel_ = std::make_unique<ReliableChannel>(*ctx_, *transport_, config.channel);
+  fd_ = std::make_unique<FailureDetector>(*ctx_, *transport_, config.fd);
+  // THE defining trait of the traditional stack: one FD class whose
+  // suspicions are exclusions.
+  fd_class_ = fd_->add_class(config.suspect_timeout);
+  fd_->on_suspect(fd_class_, [this](ProcessId q) { on_suspect(q); });
+  consensus_ = std::make_unique<Consensus>(*ctx_, *channel_, *fd_, fd_class_);
+  consensus_->on_decide(
+      [this](std::uint64_t k, const Bytes& v) { on_flush_decision(k, v); });
+  channel_->subscribe(Tag::kVs,
+                      [this](ProcessId from, const Bytes& b) { on_vs_message(from, b); });
+  channel_->subscribe(Tag::kMembership, [this](ProcessId from, const Bytes& b) {
+    on_membership_message(from, b);
+  });
+  if (config.ordering == Ordering::kSequencer) {
+    orderer_ = std::make_unique<SequencerOrderer>(*this);
+  } else {
+    orderer_ = std::make_unique<TokenOrderer>(*this, config.token_hold);
+  }
+  channel_->subscribe(orderer_->tag(), [this](ProcessId from, const Bytes& b) {
+    if (!excluded_) orderer_->handle(from, b);
+  });
+}
+
+GmVsStack::~GmVsStack() = default;
+
+void GmVsStack::init_view(std::vector<ProcessId> members) {
+  assert(!members.empty());
+  view_.id = 0;
+  view_.members = std::move(members);
+  orderer_->on_view(view_);
+  for (const auto& fn : view_fns_) fn(view_);
+}
+
+void GmVsStack::start() {
+  if (started_) return;
+  started_ = true;
+  fd_->start();
+  fd_->monitor_group(fd_class_, view_.members);
+}
+
+void GmVsStack::crash() {
+  ctx_->kill();
+  network_->crash(self());
+}
+
+void GmVsStack::request_join(ProcessId contact) {
+  Encoder enc;
+  enc.put_byte(kJoinReq);
+  channel_->send(contact, Tag::kMembership, enc.take());
+}
+
+MsgId GmVsStack::abcast(Bytes payload) {
+  const MsgId id{self(), next_local_seq_++};
+  if (excluded_) {
+    // A killed (excluded) process cannot broadcast; the message is dropped,
+    // mirroring a real process kill. Callers see the id but no delivery.
+    ctx_->metrics().inc("gmvs.sends_dropped_excluded");
+    return id;
+  }
+  if (blocked_) {
+    // Sending view delivery: the Sync layer queues sends during the flush.
+    queued_sends_.emplace_back(id, std::move(payload));
+    ctx_->metrics().inc("gmvs.sends_blocked");
+    return id;
+  }
+  orderer_->submit(id, std::move(payload));
+  return id;
+}
+
+Duration GmVsStack::total_blocked_time() const {
+  Duration total = blocked_total_;
+  if (blocked_) total += ctx_->now() - block_started_;
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// View synchrony: ORDERED delivery.
+// ---------------------------------------------------------------------------
+
+void GmVsStack::vs_emit_ordered(std::uint64_t seq, const MsgId& id, const Bytes& payload) {
+  if (blocked_ || excluded_) return;  // Sync layer: no emissions mid-flush
+  Encoder enc;
+  enc.put_byte(kOrdered);
+  enc.put_u64(view_.id);
+  enc.put_u64(seq);
+  enc.put_msgid(id);
+  enc.put_bytes(payload);
+  channel_->send_group(view_.members, Tag::kVs, enc.bytes());
+  ctx_->metrics().inc("gmvs.ordered_emitted");
+}
+
+void GmVsStack::on_vs_message(ProcessId /*from*/, const Bytes& payload) {
+  if (excluded_) return;
+  Decoder dec(payload);
+  const std::uint8_t kind = dec.get_byte();
+  if (kind != kOrdered) return;
+  const std::uint64_t view_id = dec.get_u64();
+  const std::uint64_t seq = dec.get_u64();
+  const MsgId id = dec.get_msgid();
+  Bytes body = dec.get_bytes();
+  if (!dec.ok()) return;
+  if (view_id != view_.id) return;  // stale (old view) or premature: dropped
+  if (delivered_ids_.count(id)) return;
+  holdback_.emplace(seq, std::make_pair(id, std::move(body)));
+  deliver_in_order();
+}
+
+void GmVsStack::deliver_in_order() {
+  // During a flush, deliveries pause: everything we received is in the
+  // holdback and rides into our FLUSH log, so the union decides its fate.
+  if (in_flush_) return;
+  while (!holdback_.empty() && holdback_.begin()->first == next_expected_seq_) {
+    auto node = holdback_.extract(holdback_.begin());
+    deliver_one(node.key(), node.mapped().first, node.mapped().second);
+  }
+}
+
+void GmVsStack::deliver_one(std::uint64_t seq, const MsgId& id, const Bytes& payload) {
+  next_expected_seq_ = seq + 1;
+  max_seq_seen_ = std::max(max_seq_seen_, seq);
+  if (!delivered_ids_.insert(id).second) return;
+  view_log_.emplace(seq, std::make_pair(id, payload));
+  ++delivered_count_;
+  ctx_->metrics().inc("gmvs.delivered");
+  orderer_->on_ordered_delivered(id);
+  for (const auto& fn : deliver_fns_) fn(id, payload);
+}
+
+// ---------------------------------------------------------------------------
+// Membership + flush (the view-change protocol).
+// ---------------------------------------------------------------------------
+
+void GmVsStack::on_suspect(ProcessId q) {
+  if (!started_ || excluded_ || q == self() || !view_.contains(q)) return;
+  ctx_->metrics().inc("gmvs.suspicions");
+  // COUPLED failure handling: suspicion means exclusion. Propose the current
+  // view minus everyone currently suspected.
+  std::vector<ProcessId> proposal;
+  for (ProcessId p : view_.members) {
+    if (!fd_->suspects(fd_class_, p)) proposal.push_back(p);
+  }
+  if (proposal.empty() || proposal == view_.members) return;
+  trigger_view_change(std::move(proposal));
+}
+
+void GmVsStack::trigger_view_change(std::vector<ProcessId> proposal) {
+  if (excluded_ || !view_.contains(self())) return;
+  if (in_flush_) {
+    // Narrow the proposal if yet another member went silent mid-flush.
+    bool narrower = proposal.size() < flush_proposal_.size();
+    if (!narrower) return;
+    flush_proposal_ = std::move(proposal);
+  } else {
+    in_flush_ = true;
+    flush_proposed_ = false;
+    flush_logs_.clear();
+    flush_proposal_ = std::move(proposal);
+    set_blocked(true);
+    ctx_->metrics().inc("gmvs.flushes_started");
+  }
+  Encoder enc;
+  enc.put_byte(kFlushReq);
+  enc.put_u64(view_.id);
+  enc.put_vector(flush_proposal_, [](Encoder& e, ProcessId p) { e.put_i32(p); });
+  channel_->send_group(view_.members, Tag::kMembership, enc.bytes());
+  // Contribute our own flush log (the loopback FLUSH_REQ will find us
+  // already in_flush_ and skip it).
+  send_flush();
+  maybe_propose_flush();
+}
+
+void GmVsStack::on_membership_message(ProcessId from, const Bytes& payload) {
+  Decoder dec(payload);
+  const std::uint8_t kind = dec.get_byte();
+  switch (kind) {
+    case kFlushReq: {
+      const std::uint64_t view_id = dec.get_u64();
+      auto proposal = dec.get_vector<ProcessId>([](Decoder& d) { return d.get_i32(); });
+      if (!dec.ok() || excluded_ || view_id != view_.id || !view_.contains(self())) return;
+      const bool was_in_flush = in_flush_;
+      if (!in_flush_) {
+        in_flush_ = true;
+        flush_proposed_ = false;
+        flush_logs_.clear();
+        set_blocked(true);
+      }
+      flush_proposal_ = std::move(proposal);
+      if (!was_in_flush) send_flush();
+      maybe_propose_flush();
+      break;
+    }
+    case kFlush: {
+      const std::uint64_t view_id = dec.get_u64();
+      auto log = decode_log(dec);
+      if (!dec.ok() || excluded_ || view_id != view_.id) return;
+      flush_logs_[from] = std::move(log);
+      maybe_propose_flush();
+      break;
+    }
+    case kJoinReq: {
+      if (excluded_ || !view_.contains(self()) || view_.contains(from)) return;
+      if (in_flush_) {
+        // A flush is running; the joiner will retry (or a member re-triggers
+        // once the view settles). Keep it simple: remember nothing.
+        return;
+      }
+      std::vector<ProcessId> proposal = view_.members;
+      proposal.push_back(from);
+      ctx_->metrics().inc("gmvs.joins_sponsored");
+      trigger_view_change(std::move(proposal));
+      break;
+    }
+    case kState: {
+      const std::uint64_t view_id = dec.get_u64();
+      auto members = dec.get_vector<ProcessId>([](Decoder& d) { return d.get_i32(); });
+      const std::uint64_t next_seq = dec.get_u64();
+      if (!dec.ok()) return;
+      // Only meaningful while we are outside the view waiting to get in.
+      if (!excluded_ && view_.contains(self())) return;
+      if (std::find(members.begin(), members.end(), self()) == members.end()) return;
+      if (view_id <= view_.id && view_.id != 0) return;  // stale state
+      // Model the state-transfer cost before becoming active.
+      const View v{view_id, std::move(members)};
+      ctx_->after(config_.rejoin_state_transfer_delay, [this, v, next_seq] {
+        if (!excluded_ && view_.contains(self()) && view_.id >= v.id) return;
+        excluded_ = false;
+        view_ = v;
+        next_expected_seq_ = next_seq;
+        max_seq_seen_ = next_seq == 0 ? 0 : next_seq - 1;
+        holdback_.clear();
+        view_log_.clear();
+        in_flush_ = false;
+        set_blocked(false);
+        fd_->monitor_group(fd_class_, view_.members);
+        ctx_->metrics().inc("gmvs.rejoins_completed");
+        orderer_->on_view(view_);
+        for (const auto& fn : view_fns_) fn(view_);
+      });
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void GmVsStack::send_flush() {
+  // Our log: everything delivered this view plus the held-back tail.
+  std::map<std::uint64_t, std::pair<MsgId, Bytes>> log = view_log_;
+  for (const auto& [seq, entry] : holdback_) log.emplace(seq, entry);
+  Encoder enc;
+  enc.put_byte(kFlush);
+  enc.put_u64(view_.id);
+  encode_log(enc, log);
+  channel_->send_group(view_.members, Tag::kMembership, enc.bytes());
+}
+
+void GmVsStack::maybe_propose_flush() {
+  if (!in_flush_ || flush_proposed_ || excluded_) return;
+  // Wait for the flush of every surviving member (proposal ∩ old view).
+  for (ProcessId p : flush_proposal_) {
+    if (!view_.contains(p)) continue;  // joiner: has no old-view log
+    if (!flush_logs_.count(p)) return;
+  }
+  flush_proposed_ = true;
+  // Union of the surviving logs.
+  std::map<std::uint64_t, std::pair<MsgId, Bytes>> final_log;
+  for (const auto& [p, log] : flush_logs_) {
+    if (std::find(flush_proposal_.begin(), flush_proposal_.end(), p) == flush_proposal_.end()) {
+      continue;
+    }
+    for (const auto& [seq, entry] : log) final_log.emplace(seq, entry);
+  }
+  Encoder enc;
+  enc.put_vector(flush_proposal_, [](Encoder& e, ProcessId p) { e.put_i32(p); });
+  encode_log(enc, final_log);
+  ctx_->metrics().inc("gmvs.flush_proposals");
+  consensus_->propose(view_.id, enc.take(), view_.members);
+}
+
+void GmVsStack::on_flush_decision(std::uint64_t instance, const Bytes& value) {
+  if (instance != view_.id || excluded_) return;
+  Decoder dec(value);
+  auto members = dec.get_vector<ProcessId>([](Decoder& d) { return d.get_i32(); });
+  auto final_log = decode_log(dec);
+  if (!dec.ok() || members.empty()) return;
+  install_view(std::move(members), final_log);
+}
+
+void GmVsStack::install_view(std::vector<ProcessId> members,
+                             const std::map<std::uint64_t, std::pair<MsgId, Bytes>>& final_log) {
+  // Sending view delivery: every message of the old view (the decided
+  // union) is delivered BEFORE the new view is installed. Gaps in the union
+  // (sequence numbers nobody received) are skipped deterministically.
+  for (const auto& [seq, entry] : final_log) {
+    if (seq < next_expected_seq_) continue;
+    deliver_one(seq, entry.first, entry.second);
+  }
+  if (!final_log.empty()) {
+    max_seq_seen_ = std::max(max_seq_seen_, final_log.rbegin()->first);
+    next_expected_seq_ = max_seq_seen_ + 1;
+  }
+  const std::uint64_t old_view_id = view_.id;
+  std::vector<ProcessId> joiners;
+  for (ProcessId p : members) {
+    if (!view_.contains(p)) joiners.push_back(p);
+  }
+  view_.id = old_view_id + 1;
+  view_.members = members;
+  ++view_changes_;
+  ctx_->metrics().inc("gmvs.views_installed");
+  holdback_.clear();
+  view_log_.clear();
+  in_flush_ = false;
+  flush_proposed_ = false;
+  flush_logs_.clear();
+
+  if (!view_.contains(self())) {
+    // We were excluded: the traditional stack emulates a perfect failure
+    // detector by killing wrongly suspected processes. Rejoining costs a
+    // state transfer (§4.3).
+    excluded_ = true;
+    ++exclusions_suffered_;
+    ctx_->metrics().inc("gmvs.exclusions");
+    set_blocked(false);
+    queued_sends_.clear();
+    if (config_.auto_rejoin) schedule_rejoin();
+    for (const auto& fn : view_fns_) fn(view_);
+    return;
+  }
+
+  fd_->monitor_group(fd_class_, view_.members);
+  set_blocked(false);  // before on_view: the orderer re-drives messages
+  orderer_->on_view(view_);
+  // Send the blocked backlog in the new view.
+  while (!queued_sends_.empty()) {
+    auto [id, payload] = std::move(queued_sends_.front());
+    queued_sends_.pop_front();
+    orderer_->submit(id, std::move(payload));
+  }
+  // State transfer to joiners.
+  for (ProcessId joiner : joiners) {
+    Encoder enc;
+    enc.put_byte(kState);
+    enc.put_u64(view_.id);
+    enc.put_vector(view_.members, [](Encoder& e, ProcessId p) { e.put_i32(p); });
+    enc.put_u64(next_expected_seq_);
+    channel_->send(joiner, Tag::kMembership, enc.take());
+    ctx_->metrics().inc("gmvs.state_transfers_sent");
+  }
+  for (const auto& fn : view_fns_) fn(view_);
+}
+
+void GmVsStack::set_blocked(bool blocked) {
+  if (blocked == blocked_) return;
+  blocked_ = blocked;
+  if (blocked) {
+    block_started_ = ctx_->now();
+  } else {
+    blocked_total_ += ctx_->now() - block_started_;
+  }
+}
+
+void GmVsStack::schedule_rejoin() {
+  // Ask the head of the new view to sponsor us back in.
+  if (view_.members.empty()) return;
+  const ProcessId contact = view_.members.front();
+  ctx_->after(msec(1), [this, contact] {
+    if (excluded_) request_join(contact);
+  });
+}
+
+}  // namespace gcs::traditional

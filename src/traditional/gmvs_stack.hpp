@@ -1,0 +1,195 @@
+/// \file gmvs_stack.hpp
+/// The TRADITIONAL group communication architecture (paper §2), used as the
+/// baseline in every comparison experiment:
+///
+///       Application
+///       Atomic Broadcast      (fixed sequencer — Isis/Phoenix, Figs 1/2 —
+///                              or rotating token — RMP/Totem, Figs 3/4)
+///       View Synchrony        (flush protocol, SENDING view delivery:
+///        + Group Membership    senders BLOCK during view changes)
+///       [Consensus]           (Phoenix-style: view agreement by consensus)
+///       Network
+///
+/// Key contrasts with the new architecture (and what the benches measure):
+///   - failure detection is COUPLED to membership: any suspicion triggers a
+///     view change that EXCLUDES the suspect (perfect-FD emulation), so
+///     suspicion timeouts must be conservative (§4.3);
+///   - a wrongly excluded process must REJOIN with a state transfer — the
+///     cost of a false suspicion (§4.3);
+///   - during a view change the VS layer blocks all senders until the flush
+///     completes — sending view delivery (§4.4);
+///   - the ordering problem is solved in several places: the sequencer (or
+///     token) orders messages, the flush+consensus orders views, and the
+///     flush also orders messages against view changes (§4.1).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "channel/reliable_channel.hpp"
+#include "consensus/consensus.hpp"
+#include "core/membership.hpp"  // reuses the View struct
+#include "fd/failure_detector.hpp"
+#include "sim/context.hpp"
+#include "sim/network.hpp"
+#include "transport/sim_transport.hpp"
+
+namespace gcs::traditional {
+
+class GmVsStack;
+
+/// Ordering strategy above view synchrony: fixed sequencer or token ring.
+class Orderer {
+ public:
+  virtual ~Orderer() = default;
+  /// Application wants this message atomically broadcast.
+  virtual void submit(const MsgId& id, Bytes payload) = 0;
+  /// A new view was installed; \p starting_seq is the agreed first free
+  /// global sequence number in the new view.
+  virtual void on_view(const View& view) = 0;
+  /// Orderer-specific peer messages (forward-to-sequencer, token passing).
+  virtual void handle(ProcessId from, const Bytes& payload) = 0;
+  /// An ORDERED message was delivered; the orderer clears its pending state.
+  virtual void on_ordered_delivered(const MsgId& id) = 0;
+  /// Wire tag this orderer listens on.
+  virtual Tag tag() const = 0;
+};
+
+class GmVsStack {
+ public:
+  enum class Ordering { kSequencer, kToken };
+
+  struct Config {
+    /// The coupled FD timeout: a suspicion EXCLUDES the suspect. Must be
+    /// conservative; small values produce costly false exclusions (§4.3).
+    Duration suspect_timeout = msec(500);
+    /// Cost of rejoining after a (possibly false) exclusion: models the
+    /// state transfer of a real system.
+    Duration rejoin_state_transfer_delay = msec(100);
+    /// Rejoin automatically after being excluded (the paper's "kill +
+    /// restart" emulation of a perfect failure detector).
+    bool auto_rejoin = true;
+    Ordering ordering = Ordering::kSequencer;
+    /// Token hold time before passing it on (token ordering only).
+    Duration token_hold = usec(500);
+    FailureDetector::Config fd = {};
+    ReliableChannel::Config channel = {};
+  };
+
+  using DeliverFn = std::function<void(const MsgId& id, const Bytes& payload)>;
+  using ViewFn = std::function<void(const View&)>;
+
+  GmVsStack(sim::Engine& engine, sim::Network& network, ProcessId self, std::uint64_t seed,
+            Config config);
+  ~GmVsStack();
+
+  /// -- lifecycle ---------------------------------------------------------
+  void init_view(std::vector<ProcessId> members);
+  void start();
+  void crash();
+  /// Outsider (or excluded process): ask \p contact to let us in.
+  void request_join(ProcessId contact);
+
+  /// -- operations ---------------------------------------------------------
+  /// Atomic broadcast. While the VS layer is blocked (view change in
+  /// progress) the message is queued — this blocking is the measurable cost
+  /// of sending view delivery.
+  MsgId abcast(Bytes payload);
+
+  void on_adeliver(DeliverFn fn) { deliver_fns_.push_back(std::move(fn)); }
+  void on_view(ViewFn fn) { view_fns_.push_back(std::move(fn)); }
+
+  const View& view() const { return view_; }
+  bool is_member() const { return !excluded_ && view_.contains(self()); }
+  bool is_blocked() const { return blocked_; }
+  ProcessId self() const { return ctx_->self(); }
+
+  /// -- metrics -------------------------------------------------------------
+  /// Cumulative virtual time this process spent with senders blocked.
+  Duration total_blocked_time() const;
+  std::uint64_t view_changes() const { return view_changes_; }
+  std::uint64_t exclusions_suffered() const { return exclusions_suffered_; }
+  std::uint64_t delivered_count() const { return delivered_count_; }
+  Metrics& metrics() { return ctx_->metrics(); }
+  sim::Context& context() { return *ctx_; }
+  Consensus& consensus() { return *consensus_; }
+  FailureDetector& fd() { return *fd_; }
+  FailureDetector::ClassId fd_class() const { return fd_class_; }
+
+  /// -- internal API used by the orderers ----------------------------------
+  /// Emit ORDERED(seq, id, payload) to the current view via VS.
+  void vs_emit_ordered(std::uint64_t seq, const MsgId& id, const Bytes& payload);
+  ReliableChannel& channel() { return *channel_; }
+  sim::Context& ctx() { return *ctx_; }
+  /// First free global sequence number in the current view: everything
+  /// below next_expected_seq_ was delivered (or skipped by a flush).
+  std::uint64_t next_free_seq() const { return next_expected_seq_; }
+
+ private:
+  friend class SequencerOrderer;
+  friend class TokenOrderer;
+
+  // -- view synchrony ------------------------------------------------------
+  void on_vs_message(ProcessId from, const Bytes& payload);
+  void deliver_in_order();
+  void deliver_one(std::uint64_t seq, const MsgId& id, const Bytes& payload);
+
+  // -- membership / flush --------------------------------------------------
+  void on_membership_message(ProcessId from, const Bytes& payload);
+  void on_suspect(ProcessId q);
+  void trigger_view_change(std::vector<ProcessId> proposal);
+  void send_flush();
+  void maybe_propose_flush();
+  void on_flush_decision(std::uint64_t instance, const Bytes& value);
+  void install_view(std::vector<ProcessId> members,
+                    const std::map<std::uint64_t, std::pair<MsgId, Bytes>>& final_log);
+  void set_blocked(bool blocked);
+  void schedule_rejoin();
+
+  std::unique_ptr<sim::Context> ctx_;
+  std::unique_ptr<SimTransport> transport_;
+  std::unique_ptr<ReliableChannel> channel_;
+  std::unique_ptr<FailureDetector> fd_;
+  FailureDetector::ClassId fd_class_ = 0;
+  std::unique_ptr<Consensus> consensus_;
+  std::unique_ptr<Orderer> orderer_;
+  sim::Network* network_;
+  Config config_;
+
+  // View state.
+  View view_;
+  bool excluded_ = false;
+  bool started_ = false;
+
+  // VS delivery state (reset each view).
+  std::uint64_t next_expected_seq_ = 0;
+  std::uint64_t max_seq_seen_ = 0;  // highest seq delivered, across views
+  std::map<std::uint64_t, std::pair<MsgId, Bytes>> holdback_;   // seq -> msg
+  std::map<std::uint64_t, std::pair<MsgId, Bytes>> view_log_;   // delivered this view
+  std::set<MsgId> delivered_ids_;  // all-time dedup
+
+  // Blocking (Sync) state.
+  bool blocked_ = false;
+  TimePoint block_started_ = 0;
+  Duration blocked_total_ = 0;
+  std::deque<std::pair<MsgId, Bytes>> queued_sends_;
+
+  // Flush state.
+  bool in_flush_ = false;
+  std::vector<ProcessId> flush_proposal_;
+  std::map<ProcessId, std::map<std::uint64_t, std::pair<MsgId, Bytes>>> flush_logs_;
+  bool flush_proposed_ = false;
+
+  std::uint64_t next_local_seq_ = 0;  // MsgId generator
+  std::uint64_t view_changes_ = 0;
+  std::uint64_t exclusions_suffered_ = 0;
+  std::uint64_t delivered_count_ = 0;
+  std::vector<DeliverFn> deliver_fns_;
+  std::vector<ViewFn> view_fns_;
+};
+
+}  // namespace gcs::traditional

@@ -1,0 +1,51 @@
+#include "traditional/sequencer.hpp"
+
+#include "util/codec.hpp"
+
+namespace gcs::traditional {
+
+bool SequencerOrderer::is_sequencer() const {
+  return stack_.view().primary() == stack_.self();
+}
+
+void SequencerOrderer::submit(const MsgId& id, Bytes payload) {
+  auto [it, inserted] = pending_.emplace(id, std::move(payload));
+  if (!inserted) return;
+  emit_or_forward(id, it->second);
+}
+
+void SequencerOrderer::emit_or_forward(const MsgId& id, const Bytes& payload) {
+  if (is_sequencer()) {
+    if (!assigned_.insert(id).second) return;
+    stack_.ctx().metrics().inc("seq.assigned");
+    stack_.vs_emit_ordered(seq_counter_++, id, payload);
+  } else {
+    Encoder enc;
+    enc.put_msgid(id);
+    enc.put_bytes(payload);
+    stack_.channel().send(stack_.view().primary(), Tag::kSeqOrder, enc.take());
+    stack_.ctx().metrics().inc("seq.forwarded");
+  }
+}
+
+void SequencerOrderer::handle(ProcessId /*from*/, const Bytes& payload) {
+  if (!is_sequencer() || stack_.is_blocked()) return;  // stale forward: origin re-drives
+  Decoder dec(payload);
+  const MsgId id = dec.get_msgid();
+  Bytes body = dec.get_bytes();
+  if (!dec.ok()) return;
+  if (!assigned_.insert(id).second) return;
+  stack_.ctx().metrics().inc("seq.assigned");
+  stack_.vs_emit_ordered(seq_counter_++, id, body);
+}
+
+void SequencerOrderer::on_view(const View& /*view*/) {
+  // Continuous numbering across views: resume at the agreed free slot.
+  seq_counter_ = stack_.next_free_seq();
+  // Re-drive everything of ours that the old view failed to deliver.
+  for (const auto& [id, payload] : pending_) emit_or_forward(id, payload);
+}
+
+void SequencerOrderer::on_ordered_delivered(const MsgId& id) { pending_.erase(id); }
+
+}  // namespace gcs::traditional

@@ -1,0 +1,44 @@
+/// \file sequencer.hpp
+/// Fixed-sequencer atomic broadcast (Isis/Phoenix style, paper §2.3.2).
+///
+/// The head of the current view is the sequencer: it assigns consecutive
+/// global sequence numbers and emits ORDERED messages through the view
+/// synchrony layer. Non-sequencers forward their messages to it. If the
+/// sequencer crashes, the protocol BLOCKS until the membership excludes it
+/// and a new view (with a new sequencer) is installed — the dependency on
+/// group membership that the paper's new architecture removes.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "traditional/gmvs_stack.hpp"
+
+namespace gcs::traditional {
+
+class SequencerOrderer final : public Orderer {
+ public:
+  explicit SequencerOrderer(GmVsStack& stack) : stack_(stack) {}
+
+  void submit(const MsgId& id, Bytes payload) override;
+  void on_view(const View& view) override;
+  void handle(ProcessId from, const Bytes& payload) override;
+  void on_ordered_delivered(const MsgId& id) override;
+  Tag tag() const override { return Tag::kSeqOrder; }
+
+  bool is_sequencer() const;
+
+ private:
+  void emit_or_forward(const MsgId& id, const Bytes& payload);
+
+  GmVsStack& stack_;
+  std::uint64_t seq_counter_ = 0;
+  // Messages this process originated that are not yet delivered; re-driven
+  // to the new sequencer on every view change.
+  std::map<MsgId, Bytes> pending_;
+  // Sequencer-side dedup of assignments (a forwarded message may arrive
+  // again after a view change).
+  std::set<MsgId> assigned_;
+};
+
+}  // namespace gcs::traditional

@@ -1,0 +1,83 @@
+#include "traditional/token_ring.hpp"
+
+#include <algorithm>
+
+#include "util/codec.hpp"
+
+namespace gcs::traditional {
+
+void TokenOrderer::submit(const MsgId& id, Bytes payload) {
+  pending_.emplace(id, std::move(payload));
+  // Emission happens when the token arrives (or now, if we hold it and are
+  // still inside the hold window — simply wait for the scheduled release).
+}
+
+void TokenOrderer::handle(ProcessId /*from*/, const Bytes& payload) {
+  Decoder dec(payload);
+  const std::uint64_t view_id = dec.get_u64();
+  const std::uint64_t next_seq = dec.get_u64();
+  if (!dec.ok()) return;
+  if (view_id != stack_.view().id) return;  // stale token from an old ring
+  if (stack_.is_blocked()) return;          // flush running: token dies, view
+                                            // change will regenerate it
+  acquire_token(next_seq);
+}
+
+void TokenOrderer::acquire_token(std::uint64_t next_seq) {
+  has_token_ = true;
+  token_seq_ = next_seq;
+  stack_.ctx().metrics().inc("token.acquired");
+  // Assign sequence numbers to everything we have queued.
+  for (const auto& [id, payload] : pending_) {
+    if (!emitted_.insert(id).second) continue;
+    stack_.vs_emit_ordered(token_seq_++, id, payload);
+    stack_.ctx().metrics().inc("token.assigned");
+  }
+  // Pass the token on after the hold time.
+  const std::uint64_t view_id = stack_.view().id;
+  stack_.ctx().after(token_hold_, [this, view_id] {
+    if (view_id == stack_.view().id && has_token_) release_token();
+  });
+}
+
+void TokenOrderer::release_token() {
+  has_token_ = false;
+  const auto& members = stack_.view().members;
+  if (members.empty()) return;
+  const auto it = std::find(members.begin(), members.end(), stack_.self());
+  if (it == members.end()) return;
+  const std::size_t idx = static_cast<std::size_t>(it - members.begin());
+  const ProcessId next = members[(idx + 1) % members.size()];
+  if (next == stack_.self()) {
+    // Singleton view: keep the token, re-acquire after the hold time.
+    acquire_token(token_seq_);
+    return;
+  }
+  Encoder enc;
+  enc.put_u64(stack_.view().id);
+  enc.put_u64(token_seq_);
+  stack_.channel().send(next, Tag::kToken, enc.take());
+  stack_.ctx().metrics().inc("token.passed");
+}
+
+void TokenOrderer::on_view(const View& view) {
+  has_token_ = false;
+  // Messages emitted in the old view but not delivered were discarded with
+  // the view; they must be re-assigned under the new ring.
+  for (auto it = emitted_.begin(); it != emitted_.end();) {
+    it = pending_.count(*it) ? emitted_.erase(it) : ++it;
+  }
+  // The head of the new view regenerates the token at the agreed next free
+  // sequence number (the flush union fixed it).
+  if (view.primary() == stack_.self()) {
+    stack_.ctx().metrics().inc("token.regenerated");
+    acquire_token(stack_.next_free_seq());
+  }
+}
+
+void TokenOrderer::on_ordered_delivered(const MsgId& id) {
+  pending_.erase(id);
+  emitted_.erase(id);
+}
+
+}  // namespace gcs::traditional

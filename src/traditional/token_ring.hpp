@@ -1,0 +1,45 @@
+/// \file token_ring.hpp
+/// Rotating-token atomic broadcast (RMP/Totem style, paper §2.1.3/§2.1.4).
+///
+/// Members form a logical ring in view order. A token carrying the next
+/// global sequence number circulates; only the holder assigns sequence
+/// numbers (emitting ORDERED messages through view synchrony), then passes
+/// the token on. If a member crashes the token may be lost; recovery is the
+/// membership's job: the flush computes the highest assigned sequence
+/// number and the head of the new view regenerates the token — again the
+/// dependency of ordering on membership that the new architecture removes.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "traditional/gmvs_stack.hpp"
+
+namespace gcs::traditional {
+
+class TokenOrderer final : public Orderer {
+ public:
+  TokenOrderer(GmVsStack& stack, Duration token_hold)
+      : stack_(stack), token_hold_(token_hold) {}
+
+  void submit(const MsgId& id, Bytes payload) override;
+  void on_view(const View& view) override;
+  void handle(ProcessId from, const Bytes& payload) override;
+  void on_ordered_delivered(const MsgId& id) override;
+  Tag tag() const override { return Tag::kToken; }
+
+  bool has_token() const { return has_token_; }
+
+ private:
+  void acquire_token(std::uint64_t next_seq);
+  void release_token();
+
+  GmVsStack& stack_;
+  Duration token_hold_;
+  bool has_token_ = false;
+  std::uint64_t token_seq_ = 0;
+  std::map<MsgId, Bytes> pending_;   // our messages not yet delivered
+  std::set<MsgId> emitted_;          // emitted in the current view
+};
+
+}  // namespace gcs::traditional

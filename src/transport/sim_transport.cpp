@@ -1,0 +1,39 @@
+#include "transport/sim_transport.hpp"
+
+#include <cassert>
+
+namespace gcs {
+
+SimTransport::SimTransport(sim::Context& ctx, sim::Network& network)
+    : self_(ctx.self()), network_(network) {
+  // The liveness guard: once the process is killed, incoming datagrams are
+  // dropped even if the network still has them in flight.
+  network_.set_handler(self_, [this, alive = ctx.alive_flag()](ProcessId from, const Bytes& b) {
+    if (!*alive) return;
+    dispatch(from, b);
+  });
+}
+
+void SimTransport::u_send(ProcessId to, Tag tag, const Bytes& payload) {
+  Bytes datagram;
+  datagram.reserve(payload.size() + 1);
+  datagram.push_back(static_cast<std::uint8_t>(tag));
+  datagram.insert(datagram.end(), payload.begin(), payload.end());
+  network_.send(self_, to, std::move(datagram));
+}
+
+void SimTransport::subscribe(Tag tag, Handler handler) {
+  const auto idx = static_cast<std::size_t>(tag);
+  assert(idx < handlers_.size());
+  handlers_[idx] = std::move(handler);
+}
+
+void SimTransport::dispatch(ProcessId from, const Bytes& datagram) {
+  if (datagram.empty()) return;
+  const auto idx = static_cast<std::size_t>(datagram[0]);
+  if (idx >= handlers_.size() || !handlers_[idx]) return;
+  const Bytes payload(datagram.begin() + 1, datagram.end());
+  handlers_[idx](from, payload);
+}
+
+}  // namespace gcs

@@ -1,0 +1,31 @@
+/// \file sim_transport.hpp
+/// Transport implementation over the simulated network.
+#pragma once
+
+#include <array>
+
+#include "sim/context.hpp"
+#include "sim/network.hpp"
+#include "transport/transport.hpp"
+
+namespace gcs {
+
+class SimTransport final : public Transport {
+ public:
+  /// Registers itself as \p ctx's process handler with the network.
+  SimTransport(sim::Context& ctx, sim::Network& network);
+
+  ProcessId self() const override { return self_; }
+  int universe_size() const override { return network_.size(); }
+  void u_send(ProcessId to, Tag tag, const Bytes& payload) override;
+  void subscribe(Tag tag, Handler handler) override;
+
+ private:
+  void dispatch(ProcessId from, const Bytes& datagram);
+
+  ProcessId self_;
+  sim::Network& network_;
+  std::array<Handler, static_cast<std::size_t>(Tag::kMax)> handlers_;
+};
+
+}  // namespace gcs

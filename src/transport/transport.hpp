@@ -1,0 +1,64 @@
+/// \file transport.hpp
+/// Unreliable, tag-multiplexed datagram transport (Fig 9: "Unreliable
+/// Transport", operations u-send / u-receive).
+///
+/// Every component above the transport owns a Tag; the transport prefixes
+/// outgoing payloads with the tag byte and dispatches incoming datagrams to
+/// the subscriber registered for that tag. Datagrams may be lost, delayed
+/// and reordered; they are never corrupted or duplicated.
+#pragma once
+
+#include <functional>
+
+#include "util/types.hpp"
+
+namespace gcs {
+
+/// Wire-level component tags. One per protocol component that talks to its
+/// peers on other processes.
+enum class Tag : std::uint8_t {
+  kChannel = 1,      ///< reliable channel (DATA/ACK)
+  kFd = 2,           ///< failure-detector heartbeats
+  kConsensus = 3,    ///< Chandra–Toueg consensus
+  kRbcast = 4,       ///< reliable broadcast (atomic broadcast's substrate)
+  kAbcast = 5,       ///< atomic broadcast
+  kGbcast = 6,       ///< generic broadcast (acks, data flooding)
+  kMembership = 7,   ///< join requests, state transfer
+  kMonitoring = 8,   ///< suspicion gossip
+  kVs = 9,           ///< traditional view-synchrony layer
+  kSeqOrder = 10,    ///< traditional fixed-sequencer atomic broadcast
+  kToken = 11,       ///< traditional token-ring atomic broadcast
+  kGbData = 12,      ///< generic broadcast data flooding (its own rbcast)
+  kApp = 13,         ///< application / replication layer
+  kCbcast = 14,      ///< causal broadcast (optional layer, Isis heritage)
+  kMax = 15,
+};
+
+/// Abstract unreliable transport. The simulator provides SimTransport; a
+/// real deployment would provide a UDP-backed implementation.
+class Transport {
+ public:
+  using Handler = std::function<void(ProcessId from, const Bytes& payload)>;
+
+  virtual ~Transport() = default;
+
+  /// Identity of the local process.
+  virtual ProcessId self() const = 0;
+
+  /// Number of processes in the universe (potential members, ids 0..n-1).
+  virtual int universe_size() const = 0;
+
+  /// Fire-and-forget datagram to \p to. May be silently lost.
+  virtual void u_send(ProcessId to, Tag tag, const Bytes& payload) = 0;
+
+  /// Register the receive handler for \p tag (one subscriber per tag).
+  virtual void subscribe(Tag tag, Handler handler) = 0;
+
+  /// Convenience: u_send to every process in \p group (including self if
+  /// listed; loopback has near-zero latency).
+  void u_send_group(const std::vector<ProcessId>& group, Tag tag, const Bytes& payload) {
+    for (ProcessId p : group) u_send(p, tag, payload);
+  }
+};
+
+}  // namespace gcs

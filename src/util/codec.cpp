@@ -1,0 +1,79 @@
+#include "util/codec.hpp"
+
+namespace gcs {
+
+void Encoder::put_u64(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void Encoder::put_i64(std::int64_t v) {
+  // Zigzag encoding maps small negatives to small varints.
+  const auto u = (static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63);
+  put_u64(u);
+}
+
+void Encoder::put_string(std::string_view s) {
+  put_u64(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void Encoder::put_bytes(const Bytes& b) {
+  put_u64(b.size());
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+std::uint64_t Decoder::get_u64() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (pos_ >= size_ || shift > 63) {
+      fail();
+      return 0;
+    }
+    const std::uint8_t b = data_[pos_++];
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+std::int64_t Decoder::get_i64() {
+  const std::uint64_t u = get_u64();
+  return static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
+}
+
+std::uint8_t Decoder::get_byte() {
+  if (pos_ >= size_) {
+    fail();
+    return 0;
+  }
+  return data_[pos_++];
+}
+
+std::string Decoder::get_string() {
+  const std::uint64_t n = get_u64();
+  if (n > remaining()) {
+    fail();
+    return {};
+  }
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), static_cast<std::size_t>(n));
+  pos_ += static_cast<std::size_t>(n);
+  return s;
+}
+
+Bytes Decoder::get_bytes() {
+  const std::uint64_t n = get_u64();
+  if (n > remaining()) {
+    fail();
+    return {};
+  }
+  Bytes b(data_ + pos_, data_ + pos_ + n);
+  pos_ += static_cast<std::size_t>(n);
+  return b;
+}
+
+}  // namespace gcs

@@ -1,0 +1,34 @@
+#include "util/log.hpp"
+
+#include <atomic>
+
+namespace gcs {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kOff)};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void Logger::set_global_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel Logger::global_level() { return static_cast<LogLevel>(g_level.load()); }
+
+void Logger::log(LogLevel level, const std::string& msg) const {
+  if (!enabled(level)) return;
+  const TimePoint t = now_fn_ ? now_fn_() : 0;
+  std::fprintf(stderr, "[%10.3fms] %s %-14s %s\n", static_cast<double>(t) / 1000.0,
+               level_name(level), who_.c_str(), msg.c_str());
+}
+
+}  // namespace gcs

@@ -1,0 +1,40 @@
+#include "util/metrics.hpp"
+
+namespace gcs {
+
+void Histogram::sort() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+Duration Histogram::min() const {
+  if (samples_.empty()) return 0;
+  sort();
+  return samples_.front();
+}
+
+Duration Histogram::max() const {
+  if (samples_.empty()) return 0;
+  sort();
+  return samples_.back();
+}
+
+double Histogram::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (Duration s : samples_) sum += static_cast<double>(s);
+  return sum / static_cast<double>(samples_.size());
+}
+
+Duration Histogram::percentile(double q) const {
+  if (samples_.empty()) return 0;
+  sort();
+  if (q <= 0) return samples_.front();
+  if (q >= 100) return samples_.back();
+  const auto rank = static_cast<std::size_t>(q / 100.0 * static_cast<double>(samples_.size() - 1) + 0.5);
+  return samples_[std::min(rank, samples_.size() - 1)];
+}
+
+}  // namespace gcs

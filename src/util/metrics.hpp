@@ -1,0 +1,75 @@
+/// \file metrics.hpp
+/// Simple metrics: counters and latency histograms with percentile queries.
+///
+/// Benchmarks (bench/) run protocols under virtual time and report
+/// virtual-time latencies; Histogram stores raw samples (simulations are
+/// small enough) so exact percentiles can be reported.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace gcs {
+
+/// Collection of raw duration samples with summary statistics.
+class Histogram {
+ public:
+  void add(Duration sample) {
+    samples_.push_back(sample);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  Duration min() const;
+  Duration max() const;
+  double mean() const;
+  /// Exact percentile by nearest-rank, q in [0, 100].
+  Duration percentile(double q) const;
+
+  const std::vector<Duration>& samples() const { return samples_; }
+  void clear() { samples_.clear(); }
+
+ private:
+  // Sorted lazily on query.
+  mutable std::vector<Duration> samples_;
+  mutable bool sorted_ = false;
+  void sort() const;
+};
+
+/// Named counters + histograms, one registry per experiment run.
+class Metrics {
+ public:
+  void inc(const std::string& name, std::int64_t delta = 1) { counters_[name] += delta; }
+  std::int64_t counter(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  void observe(const std::string& name, Duration sample) { histograms_[name].add(sample); }
+  const Histogram& histogram(const std::string& name) const {
+    static const Histogram kEmpty;
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? kEmpty : it->second;
+  }
+
+  const std::map<std::string, std::int64_t>& counters() const { return counters_; }
+  const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+
+  void clear() {
+    counters_.clear();
+    histograms_.clear();
+  }
+
+ private:
+  std::map<std::string, std::int64_t> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace gcs

@@ -1,0 +1,75 @@
+/// \file rng.hpp
+/// Deterministic pseudo-random number generator (splitmix64 / xoshiro256**).
+///
+/// The simulator must be bit-for-bit reproducible across platforms and
+/// standard-library versions, so we do not use std::mt19937 or
+/// std::uniform_*_distribution (whose outputs are not pinned by the
+/// standard). Everything that needs randomness takes an explicit Rng.
+#pragma once
+
+#include <cstdint>
+
+namespace gcs {
+
+/// xoshiro256** seeded via splitmix64. Fast, high quality, reproducible.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0xda3e39cb94b95bdbULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // splitmix64 to spread a small seed over the full state.
+    auto next = [&seed]() {
+      seed += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      return z ^ (z >> 31);
+    };
+    for (auto& word : state_) word = next();
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound == 0 returns 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    // Debiased multiply-shift (Lemire). Slight modulo bias would be fine for
+    // a simulator, but this is just as cheap.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (true) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform signed integer in [lo, hi] inclusive.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return next_double() < p; }
+
+  /// Fork an independent stream (for per-process RNGs derived from one seed).
+  Rng split() { return Rng(next_u64()); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace gcs

@@ -1,0 +1,9 @@
+#include "util/types.hpp"
+
+namespace gcs {
+
+std::string to_string(const MsgId& id) {
+  return std::to_string(id.sender) + ":" + std::to_string(id.seq);
+}
+
+}  // namespace gcs

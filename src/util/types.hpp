@@ -1,0 +1,55 @@
+/// \file types.hpp
+/// Fundamental identifiers and value types shared by every nggcs module.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace gcs {
+
+/// Identity of a process (a group member or potential member).
+/// Processes are numbered densely from 0 within a "universe"; a process keeps
+/// its id for its whole life (crash, exclusion and rejoin do not change it).
+using ProcessId = std::int32_t;
+
+/// Sentinel meaning "no process".
+inline constexpr ProcessId kNoProcess = -1;
+
+/// Raw payload bytes as they travel through the stack.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Virtual time in microseconds since simulation start.
+using TimePoint = std::int64_t;
+
+/// Virtual duration in microseconds.
+using Duration = std::int64_t;
+
+/// Convenience literals for durations.
+constexpr Duration usec(std::int64_t v) { return v; }
+constexpr Duration msec(std::int64_t v) { return v * 1000; }
+constexpr Duration sec(std::int64_t v) { return v * 1000 * 1000; }
+
+/// Globally unique message identity: the broadcasting process plus a
+/// per-process sequence number it assigns at broadcast time.
+struct MsgId {
+  ProcessId sender = kNoProcess;
+  std::uint64_t seq = 0;
+
+  friend auto operator<=>(const MsgId&, const MsgId&) = default;
+};
+
+/// Human-readable form, e.g. "3:17".
+std::string to_string(const MsgId& id);
+
+}  // namespace gcs
+
+template <>
+struct std::hash<gcs::MsgId> {
+  std::size_t operator()(const gcs::MsgId& id) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(id.sender)) << 40) ^ id.seq);
+  }
+};

@@ -1,0 +1,102 @@
+/// Adaptive (Chen-style) failure-detector timeouts: the timeout tracks the
+/// observed heartbeat inter-arrival distribution instead of being guessed.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "fd/failure_detector.hpp"
+#include "sim/context.hpp"
+#include "sim/network.hpp"
+#include "transport/sim_transport.hpp"
+#include "tests/test_util.hpp"
+
+namespace gcs {
+namespace {
+
+struct AdaptiveWorld {
+  sim::Engine engine;
+  sim::Network network;
+  sim::Context c0{0, engine, Rng(1), Logger(), std::make_shared<Metrics>()};
+  sim::Context c1{1, engine, Rng(2), Logger(), std::make_shared<Metrics>()};
+  SimTransport t0{c0, network};
+  SimTransport t1{c1, network};
+  FailureDetector fd0{c0, t0, FailureDetector::Config{msec(10)}};
+  FailureDetector fd1{c1, t1, FailureDetector::Config{msec(10)}};
+
+  explicit AdaptiveWorld(sim::LinkModel link, std::uint64_t seed = 5)
+      : network(engine, 2, link, seed) {}
+};
+
+TEST(AdaptiveFd, TimeoutTracksObservedIntervals) {
+  AdaptiveWorld w(sim::LinkModel{usec(300), usec(200), 0.0});
+  auto cls = w.fd0.add_class(sec(10));  // fixed fallback, absurdly large
+  w.fd0.enable_adaptive(cls, 3.0, msec(5), msec(8), sec(1));
+  w.fd0.monitor(cls, 1);
+  w.fd0.start();
+  w.fd1.start();
+  w.engine.run_until(sec(2));
+  const Duration t = w.fd0.effective_timeout(cls, 1);
+  // Heartbeats every 10ms with small jitter: the adapted timeout should be
+  // a bit above 10ms + slack, far below the 10s fixed value.
+  EXPECT_GE(t, msec(10));
+  EXPECT_LE(t, msec(40));
+  EXPECT_FALSE(w.fd0.suspects(cls, 1));
+}
+
+TEST(AdaptiveFd, NoFalseSuspicionsWhereFixedTightTimeoutMisfires) {
+  // A jittery, lossy link. A fixed 20ms timeout misfires (cf. E8a); the
+  // adaptive one widens itself and stays quiet.
+  const sim::LinkModel link{usec(300), usec(400), 0.10};
+  AdaptiveWorld fixed(link, 7);
+  auto fixed_cls = fixed.fd0.add_class(msec(20));
+  fixed.fd0.monitor(fixed_cls, 1);
+  fixed.fd0.start();
+  fixed.fd1.start();
+  fixed.engine.run_until(sec(20));
+  const auto fixed_false = fixed.fd0.false_suspicions();
+
+  AdaptiveWorld adaptive(link, 7);
+  auto ad_cls = adaptive.fd0.add_class(msec(20));
+  adaptive.fd0.enable_adaptive(ad_cls, 6.0, msec(15), msec(10), msec(500));
+  adaptive.fd0.monitor(ad_cls, 1);
+  adaptive.fd0.start();
+  adaptive.fd1.start();
+  adaptive.engine.run_until(sec(20));
+  const auto adaptive_false = adaptive.fd0.false_suspicions();
+
+  EXPECT_GT(fixed_false, 0) << "the fixed baseline was supposed to misfire";
+  // Loss bursts can still beat any finite margin; the adaptive detector
+  // must misfire far less than the fixed 20ms guess on the same link.
+  EXPECT_LT(adaptive_false * 4, fixed_false)
+      << "adaptive=" << adaptive_false << " fixed=" << fixed_false;
+}
+
+TEST(AdaptiveFd, StillDetectsRealCrashQuickly) {
+  AdaptiveWorld w(sim::LinkModel{usec(300), usec(200), 0.05}, 9);
+  auto cls = w.fd0.add_class(sec(10));
+  w.fd0.enable_adaptive(cls, 3.0, msec(5), msec(8), msec(500));
+  w.fd0.monitor(cls, 1);
+  w.fd0.start();
+  w.fd1.start();
+  w.engine.run_until(sec(5));  // learn the link
+  const TimePoint crash_at = w.engine.now();
+  w.network.crash(1);
+  ASSERT_TRUE(test::run_until(w.engine, sec(5), [&] { return w.fd0.suspects(cls, 1); }));
+  // Detection bounded by the adapted timeout (~tens of ms), not the 10s
+  // fixed fallback.
+  EXPECT_LT(w.engine.now() - crash_at, msec(100));
+}
+
+TEST(AdaptiveFd, UnprimedPeerUsesCeiling) {
+  AdaptiveWorld w(sim::LinkModel{});
+  auto cls = w.fd0.add_class(msec(77));
+  w.fd0.enable_adaptive(cls, 2.0, msec(1), msec(5), msec(300));
+  // No heartbeats seen from 1 yet: ceiling applies (be conservative first).
+  EXPECT_EQ(w.fd0.effective_timeout(cls, 1), msec(300));
+  // Non-adaptive class keeps its fixed timeout.
+  auto fixed_cls = w.fd0.add_class(msec(42));
+  EXPECT_EQ(w.fd0.effective_timeout(fixed_cls, 1), msec(42));
+}
+
+}  // namespace
+}  // namespace gcs

@@ -1,0 +1,131 @@
+/// Channel batching (piggybacking): multiple messages to one peer pack
+/// into one datagram when sent within the batch window.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "channel/reliable_channel.hpp"
+#include "core/stack.hpp"
+#include "sim/context.hpp"
+#include "sim/network.hpp"
+#include "transport/sim_transport.hpp"
+#include "tests/test_util.hpp"
+
+namespace gcs {
+namespace {
+
+using test::bytes_of;
+using test::str_of;
+
+struct BatchWorld {
+  sim::Engine engine;
+  sim::Network network;
+  sim::Context c0{0, engine, Rng(1), Logger(), std::make_shared<Metrics>()};
+  sim::Context c1{1, engine, Rng(2), Logger(), std::make_shared<Metrics>()};
+  SimTransport t0{c0, network};
+  SimTransport t1{c1, network};
+  ReliableChannel ch0;
+  ReliableChannel ch1;
+  std::vector<std::string> received;
+
+  explicit BatchWorld(ReliableChannel::Config cfg, sim::LinkModel link = {})
+      : network(engine, 2, link, 1), ch0(c0, t0, cfg), ch1(c1, t1, cfg) {
+    ch1.subscribe(Tag::kApp, [this](ProcessId, const Bytes& b) {
+      received.push_back(str_of(b));
+    });
+  }
+};
+
+TEST(Batching, BurstPacksIntoOneDatagram) {
+  ReliableChannel::Config cfg;
+  cfg.batch_delay = usec(50);
+  BatchWorld w(cfg);
+  for (int i = 0; i < 10; ++i) w.ch0.send(1, Tag::kApp, bytes_of(std::to_string(i)));
+  w.engine.run_until(msec(10));
+  ASSERT_EQ(w.received.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(w.received[static_cast<std::size_t>(i)], std::to_string(i));
+  }
+  // One batch datagram (plus nothing else): 10 messages, 1 wire frame.
+  EXPECT_EQ(w.ch0.datagrams_sent(), 1);
+}
+
+TEST(Batching, SpacedSendsStaySeparate) {
+  ReliableChannel::Config cfg;
+  cfg.batch_delay = usec(50);
+  BatchWorld w(cfg);
+  for (int i = 0; i < 3; ++i) {
+    w.ch0.send(1, Tag::kApp, bytes_of(std::to_string(i)));
+    w.engine.run_until(w.engine.now() + msec(1));
+  }
+  w.engine.run_until(msec(10));
+  EXPECT_EQ(w.received.size(), 3u);
+  EXPECT_EQ(w.ch0.datagrams_sent(), 3);
+}
+
+TEST(Batching, ReliableUnderLoss) {
+  ReliableChannel::Config cfg;
+  cfg.batch_delay = usec(100);
+  cfg.rto = msec(5);
+  BatchWorld w(cfg, sim::LinkModel{usec(300), usec(200), 0.3});
+  for (int i = 0; i < 40; ++i) w.ch0.send(1, Tag::kApp, bytes_of(std::to_string(i)));
+  ASSERT_TRUE(test::run_until(w.engine, sec(30), [&] { return w.received.size() == 40; }));
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_EQ(w.received[static_cast<std::size_t>(i)], std::to_string(i));
+  }
+}
+
+TEST(Batching, ComposesWithFlowControl) {
+  ReliableChannel::Config cfg;
+  cfg.batch_delay = usec(50);
+  cfg.send_window = 5;
+  BatchWorld w(cfg, sim::LinkModel{msec(2), 0, 0.0});
+  for (int i = 0; i < 20; ++i) w.ch0.send(1, Tag::kApp, bytes_of(std::to_string(i)));
+  // First flush sends a 5-message batch; the rest are window-queued.
+  w.engine.run_until(msec(1));
+  EXPECT_EQ(w.ch0.queued_by_flow_control(1), 15u);
+  ASSERT_TRUE(test::run_until(w.engine, sec(10), [&] { return w.received.size() == 20; }));
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(w.received[static_cast<std::size_t>(i)], std::to_string(i));
+  }
+}
+
+TEST(Batching, FullStackWithBatchingDeliversFewerDatagrams) {
+  auto run = [](Duration batch_delay) {
+    World::Config cfg;
+    cfg.n = 4;
+    cfg.seed = 5;
+    cfg.stack.channel.batch_delay = batch_delay;
+    World w(cfg);
+    std::vector<test::DeliveryLog> logs(4);
+    for (ProcessId p = 0; p < 4; ++p) {
+      w.stack(p).on_adeliver([&logs, p](const MsgId& id, const Bytes& b) {
+        logs[static_cast<std::size_t>(p)].record(id, b);
+      });
+    }
+    w.found_group_all();
+    for (int i = 0; i < 10; ++i) {
+      w.stack(static_cast<ProcessId>(i % 4)).abcast(bytes_of(std::to_string(i)));
+    }
+    test::run_until(w.engine(), sec(30), [&] {
+      for (auto& log : logs) {
+        if (log.size() < 10) return false;
+      }
+      return true;
+    });
+    // Order intact in both modes.
+    for (ProcessId p = 1; p < 4; ++p) {
+      EXPECT_EQ(logs[static_cast<std::size_t>(p)].order, logs[0].order);
+    }
+    std::int64_t datagrams = 0;
+    for (ProcessId p = 0; p < 4; ++p) datagrams += w.stack(p).channel().datagrams_sent();
+    return datagrams;
+  };
+  const auto without = run(0);
+  const auto with = run(usec(100));
+  EXPECT_LT(with, without) << "batching should reduce wire datagrams";
+  EXPECT_LT(with * 2, without * 3);  // at least ~1/3 fewer
+}
+
+}  // namespace
+}  // namespace gcs

@@ -1,0 +1,209 @@
+/// Randomized failure-injection ("chaos") tests: random traffic, crashes,
+/// false suspicions, joins and partitions, with the global safety
+/// invariants checked at the end of every schedule:
+///   - total order: all adelivery logs are prefix-consistent,
+///   - no duplication, no creation,
+///   - generic broadcast orders all conflicting pairs consistently,
+///   - liveness: surviving members keep delivering after the chaos stops.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/stack.hpp"
+#include "tests/test_util.hpp"
+
+namespace gcs {
+namespace {
+
+using test::bytes_of;
+using test::consistent_prefix;
+
+struct ChaosRun {
+  static constexpr int kN = 5;
+
+  explicit ChaosRun(std::uint64_t seed) : rng(seed ^ 0xabcdef), world(make(seed)) {
+    alogs.resize(kN);
+    glogs.resize(kN);
+    gcls.resize(kN);
+    for (ProcessId p = 0; p < kN; ++p) {
+      world.stack(p).on_adeliver([this, p](const MsgId& id, const Bytes& b) {
+        alogs[static_cast<std::size_t>(p)].record(id, b);
+      });
+      world.stack(p).on_gdeliver([this, p](const MsgId& id, MsgClass cls, const Bytes&) {
+        glogs[static_cast<std::size_t>(p)].push_back(id);
+        gcls[static_cast<std::size_t>(p)][id] = cls;
+      });
+    }
+    world.found_group_all();
+  }
+
+  static World::Config make(std::uint64_t seed) {
+    Rng r(seed);
+    World::Config c;
+    c.n = kN;
+    c.seed = seed;
+    c.link.base_delay = usec(100 + r.next_range(0, 300));
+    c.link.jitter = usec(r.next_range(0, 400));
+    c.link.drop_probability = r.next_double() * 0.08;
+    c.stack.monitoring.exclusion_timeout = msec(400);
+    // Half the schedules run on Paxos instead of Chandra-Toueg: the chaos
+    // invariants are algorithm-independent.
+    if (seed % 2 == 0) c.stack.consensus_algorithm = StackConfig::ConsensusAlgo::kPaxos;
+    return c;
+  }
+
+  void random_schedule() {
+    int crashes_left = 1;  // keep a solid majority alive: 5 -> at most 1 crash
+    const int kSteps = 60;
+    for (int step = 0; step < kSteps; ++step) {
+      const auto dice = rng.next_below(100);
+      const auto p = static_cast<ProcessId>(rng.next_below(kN));
+      if (dice < 55) {
+        if (alive(p) && world.stack(p).membership().is_member()) {
+          sent_abcast.insert(world.stack(p).abcast(bytes_of("a" + std::to_string(step))));
+        }
+      } else if (dice < 80) {
+        if (alive(p) && world.stack(p).membership().is_member()) {
+          const MsgClass cls = rng.chance(0.3) ? kAbcastClass : kRbcastClass;
+          world.stack(p).gbcast(cls, bytes_of("g" + std::to_string(step)));
+          ++sent_gbcast;
+        }
+      } else if (dice < 88) {
+        // False suspicion of a random member at a random member.
+        const auto q = static_cast<ProcessId>(rng.next_below(kN));
+        if (alive(p) && p != q) {
+          world.stack(p).fd().inject_suspicion(world.stack(p).consensus_fd_class(), q);
+        }
+      } else if (dice < 94 && crashes_left > 0) {
+        if (alive(p)) {
+          world.crash(p);
+          crashed.insert(p);
+          --crashes_left;
+        }
+      } else if (dice < 96) {
+        // Briefly partition a minority pair away, healing shortly after.
+        if (!partitioned_) {
+          partitioned_ = true;
+          const auto a = static_cast<ProcessId>(rng.next_below(kN));
+          const auto b = static_cast<ProcessId>((a + 1) % kN);
+          std::vector<ProcessId> majority;
+          for (ProcessId q = 0; q < kN; ++q) {
+            if (q != a && q != b) majority.push_back(q);
+          }
+          world.network().partition({majority, {a, b}});
+          world.engine().schedule_after(rng.next_range(msec(5), msec(60)), [this] {
+            world.network().heal();
+            partitioned_ = false;
+          });
+        }
+      } else {
+        // Excluded-but-alive processes try to rejoin.
+        if (alive(p) && !world.stack(p).membership().is_member()) {
+          for (ProcessId contact = 0; contact < kN; ++contact) {
+            if (alive(contact) && world.stack(contact).membership().is_member()) {
+              world.stack(p).membership().join(contact);
+              break;
+            }
+          }
+        }
+      }
+      world.run_for(rng.next_range(msec(1), msec(10)));
+    }
+  }
+
+  bool alive(ProcessId p) { return world.network().alive(p); }
+
+  void check_invariants() {
+    // Let everything settle (any in-flight partition heals via its timer).
+    world.run_for(sec(5));
+    world.network().heal();
+    world.run_for(sec(2));
+    // (1) total order across ALL processes' abcast logs.
+    for (int a = 0; a < kN; ++a) {
+      for (int b = a + 1; b < kN; ++b) {
+        EXPECT_TRUE(consistent_prefix(alogs[static_cast<std::size_t>(a)].order,
+                                      alogs[static_cast<std::size_t>(b)].order))
+            << "abcast order mismatch p" << a << " vs p" << b;
+      }
+    }
+    // (2) no duplicates, no creation.
+    for (int p = 0; p < kN; ++p) {
+      std::set<MsgId> uniq(alogs[static_cast<std::size_t>(p)].order.begin(),
+                           alogs[static_cast<std::size_t>(p)].order.end());
+      EXPECT_EQ(uniq.size(), alogs[static_cast<std::size_t>(p)].order.size())
+          << "duplicate adelivery at p" << p;
+      for (const MsgId& id : uniq) {
+        EXPECT_TRUE(sent_abcast.count(id)) << "created message at p" << p;
+      }
+      std::set<MsgId> guniq(glogs[static_cast<std::size_t>(p)].begin(),
+                            glogs[static_cast<std::size_t>(p)].end());
+      EXPECT_EQ(guniq.size(), glogs[static_cast<std::size_t>(p)].size())
+          << "duplicate gdelivery at p" << p;
+    }
+    // (3) conflicting gbcast pairs ordered identically at every pair of
+    // processes that delivered both.
+    const auto rel = ConflictRelation::rbcast_abcast();
+    for (int a = 0; a < kN; ++a) {
+      const auto& la = glogs[static_cast<std::size_t>(a)];
+      std::map<MsgId, std::size_t> pos_a;
+      for (std::size_t i = 0; i < la.size(); ++i) pos_a[la[i]] = i;
+      for (int b = a + 1; b < kN; ++b) {
+        const auto& lb = glogs[static_cast<std::size_t>(b)];
+        std::map<MsgId, std::size_t> pos_b;
+        for (std::size_t i = 0; i < lb.size(); ++i) pos_b[lb[i]] = i;
+        for (const auto& [x, xi] : pos_a) {
+          for (const auto& [y, yi] : pos_a) {
+            if (!(x < y)) continue;
+            if (!rel.conflicts(gcls[static_cast<std::size_t>(a)][x],
+                               gcls[static_cast<std::size_t>(a)][y])) {
+              continue;
+            }
+            auto bx = pos_b.find(x);
+            auto by = pos_b.find(y);
+            if (bx == pos_b.end() || by == pos_b.end()) continue;
+            EXPECT_EQ(xi < yi, bx->second < by->second)
+                << "gbcast conflict order mismatch p" << a << "/p" << b;
+          }
+        }
+      }
+    }
+    // (4) liveness: an alive member can still get a message through.
+    ProcessId sender = kNoProcess;
+    for (ProcessId p = 0; p < kN; ++p) {
+      if (alive(p) && world.stack(p).membership().is_member()) {
+        sender = p;
+        break;
+      }
+    }
+    ASSERT_NE(sender, kNoProcess) << "no alive member left?!";
+    const std::size_t before = alogs[static_cast<std::size_t>(sender)].size();
+    world.stack(sender).abcast(bytes_of("final liveness probe"));
+    EXPECT_TRUE(test::run_until(world.engine(), sec(30), [&] {
+      return alogs[static_cast<std::size_t>(sender)].size() > before;
+    })) << "group wedged after chaos";
+  }
+
+  Rng rng;
+  World world;
+  std::vector<test::DeliveryLog> alogs;
+  std::vector<std::vector<MsgId>> glogs;
+  std::vector<std::map<MsgId, MsgClass>> gcls;
+  std::set<MsgId> sent_abcast;
+  std::set<ProcessId> crashed;
+  int sent_gbcast = 0;
+  bool partitioned_ = false;
+};
+
+class Chaos : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Chaos, InvariantsHoldUnderRandomFaults) {
+  ChaosRun run(GetParam());
+  run.random_schedule();
+  run.check_invariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Chaos, ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace gcs

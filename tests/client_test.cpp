@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "replication/client.hpp"
+#include "replication/state_machine.hpp"
+#include "tests/test_util.hpp"
+
+namespace gcs::replication {
+namespace {
+
+using test::bytes_of;
+
+TEST(CachingStateMachine, SuppressesDuplicates) {
+  CachingStateMachine m(std::make_unique<BankAccount>());
+  const Bytes cmd = CachingStateMachine::wrap(7, 1, BankAccount::make_deposit(100));
+  const Bytes r1 = m.apply(cmd);
+  const Bytes r2 = m.apply(cmd);  // retry of the same request
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(m.duplicates_suppressed(), 1u);
+  EXPECT_EQ(static_cast<BankAccount&>(m.inner()).balance(), 100);  // applied once
+  // A different request id executes normally.
+  m.apply(CachingStateMachine::wrap(7, 2, BankAccount::make_deposit(1)));
+  EXPECT_EQ(static_cast<BankAccount&>(m.inner()).balance(), 101);
+}
+
+TEST(CachingStateMachine, SnapshotCarriesCache) {
+  CachingStateMachine a(std::make_unique<BankAccount>());
+  a.apply(CachingStateMachine::wrap(3, 9, BankAccount::make_deposit(50)));
+  CachingStateMachine b(std::make_unique<BankAccount>());
+  b.restore(a.snapshot());
+  EXPECT_TRUE(b.cached(3, 9).has_value());
+  EXPECT_EQ(static_cast<BankAccount&>(b.inner()).balance(), 50);
+  // The restored cache suppresses the retry too.
+  b.apply(CachingStateMachine::wrap(3, 9, BankAccount::make_deposit(50)));
+  EXPECT_EQ(static_cast<BankAccount&>(b.inner()).balance(), 50);
+}
+
+/// Harness: group of 4 replicas + 1 client (universe process 4).
+struct ActiveClientWorld {
+  World world;
+  std::vector<std::unique_ptr<ActiveService>> services;
+  std::unique_ptr<sim::Context> client_ctx;
+  std::unique_ptr<Client> client;
+
+  explicit ActiveClientWorld(std::uint64_t seed = 1, Client::Config ccfg = {})
+      : world(make(seed)) {
+    for (ProcessId p = 0; p < 4; ++p) {
+      services.push_back(
+          std::make_unique<ActiveService>(world.stack(p), std::make_unique<BankAccount>()));
+    }
+    world.found_group({0, 1, 2, 3});
+    client_ctx = std::make_unique<sim::Context>(4, world.engine(), Rng(99), Logger(),
+                                                std::make_shared<Metrics>());
+    client = std::make_unique<Client>(*client_ctx, world.network(),
+                                      std::vector<ProcessId>{0, 1, 2, 3}, ccfg);
+  }
+  static World::Config make(std::uint64_t seed) {
+    World::Config c;
+    c.n = 5;  // 4 replicas + the client slot
+    c.seed = seed;
+    return c;
+  }
+};
+
+TEST(ActiveClient, RequestCommitsAndReturnsResult) {
+  ActiveClientWorld w;
+  bool ok = false;
+  std::int64_t balance = -1;
+  w.client->submit(BankAccount::make_deposit(25), [&](bool o, const Bytes& r) {
+    ok = o;
+    balance = BankAccount::decode_result(r).second;
+  });
+  ASSERT_TRUE(test::run_until(w.world.engine(), sec(10), [&] { return ok; }));
+  EXPECT_EQ(balance, 25);
+  // All replicas applied it.
+  ASSERT_TRUE(test::run_until(w.world.engine(), sec(5), [&] {
+    for (auto& s : w.services) {
+      if (s->applied() < 1) return false;
+    }
+    return true;
+  }));
+  for (auto& s : w.services) {
+    EXPECT_EQ(static_cast<BankAccount&>(s->state()).balance(), 25);
+  }
+}
+
+TEST(ActiveClient, SequentialRequestsKeepOrder) {
+  ActiveClientWorld w(3);
+  std::vector<std::int64_t> balances;
+  int done = 0;
+  std::function<void(int)> send_next = [&](int i) {
+    if (i >= 5) return;
+    w.client->submit(BankAccount::make_deposit(10), [&, i](bool o, const Bytes& r) {
+      ASSERT_TRUE(o);
+      balances.push_back(BankAccount::decode_result(r).second);
+      ++done;
+      send_next(i + 1);
+    });
+  };
+  send_next(0);
+  ASSERT_TRUE(test::run_until(w.world.engine(), sec(30), [&] { return done >= 5; }));
+  EXPECT_EQ(balances, (std::vector<std::int64_t>{10, 20, 30, 40, 50}));
+}
+
+TEST(ActiveClient, CrashedReplicaCausesRetryNotDuplicate) {
+  Client::Config ccfg;
+  ccfg.request_timeout = msec(80);
+  ActiveClientWorld w(5, ccfg);
+  // Kill the first contact before the request goes out.
+  w.world.crash(0);
+  bool ok = false;
+  std::int64_t balance = -1;
+  w.client->submit(BankAccount::make_deposit(40), [&](bool o, const Bytes& r) {
+    ok = o;
+    balance = BankAccount::decode_result(r).second;
+  });
+  ASSERT_TRUE(test::run_until(w.world.engine(), sec(20), [&] { return ok; }));
+  EXPECT_EQ(balance, 40);
+  EXPECT_GE(w.client->retries(), 1u);
+  // Exactly-once despite the retry.
+  EXPECT_EQ(static_cast<BankAccount&>(w.services[1]->state()).balance(), 40);
+}
+
+TEST(ActiveClient, AllReplicasDownEventuallyFails) {
+  Client::Config ccfg;
+  ccfg.request_timeout = msec(50);
+  ccfg.max_attempts = 3;
+  ActiveClientWorld w(7, ccfg);
+  for (ProcessId p = 0; p < 4; ++p) w.world.crash(p);
+  bool completed = false, ok = true;
+  w.client->submit(BankAccount::make_deposit(1), [&](bool o, const Bytes&) {
+    completed = true;
+    ok = o;
+  });
+  ASSERT_TRUE(test::run_until(w.world.engine(), sec(20), [&] { return completed; }));
+  EXPECT_FALSE(ok);
+}
+
+struct PassiveClientWorld {
+  World world;
+  std::vector<std::unique_ptr<PassiveService>> services;
+  std::unique_ptr<sim::Context> client_ctx;
+  std::unique_ptr<Client> client;
+
+  PassiveClientWorld(std::uint64_t seed, PassiveReplication::Config pcfg,
+                     Client::Config ccfg = {})
+      : world(make(seed)) {
+    world.found_group({0, 1, 2, 3});
+    for (ProcessId p = 0; p < 4; ++p) {
+      services.push_back(std::make_unique<PassiveService>(
+          world.stack(p), std::make_unique<BankAccount>(), pcfg));
+    }
+    client_ctx = std::make_unique<sim::Context>(4, world.engine(), Rng(77), Logger(),
+                                                std::make_shared<Metrics>());
+    client = std::make_unique<Client>(*client_ctx, world.network(),
+                                      std::vector<ProcessId>{0, 1, 2, 3}, ccfg);
+  }
+  static World::Config make(std::uint64_t seed) {
+    World::Config c;
+    c.n = 5;
+    c.seed = seed;
+    c.stack.conflict = ConflictRelation::update_primary_change();
+    return c;
+  }
+};
+
+TEST(PassiveClient, BackupRedirectsToPrimary) {
+  PassiveReplication::Config pcfg;
+  pcfg.auto_primary_change = false;
+  PassiveClientWorld w(1, pcfg);
+  // Point the client at a backup first: it must get redirected to p0.
+  w.client = std::make_unique<Client>(*w.client_ctx, w.world.network(),
+                                      std::vector<ProcessId>{2, 3, 0, 1});
+  bool ok = false;
+  w.client->submit(BankAccount::make_deposit(5), [&](bool o, const Bytes&) { ok = o; });
+  ASSERT_TRUE(test::run_until(w.world.engine(), sec(10), [&] { return ok; }));
+  EXPECT_GE(w.client->redirects_followed(), 1u);
+}
+
+TEST(PassiveClient, Fig8EndToEnd_ClientRetriesAfterPrimaryChange) {
+  // The complete Figure 8 story: the client's request reaches the primary,
+  // a primary-change races the update; whatever the outcome, the client
+  // eventually gets its deposit committed exactly once.
+  PassiveReplication::Config pcfg;
+  pcfg.auto_primary_change = false;
+  Client::Config ccfg;
+  ccfg.request_timeout = msec(100);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    PassiveClientWorld w(seed, pcfg, ccfg);
+    bool ok = false;
+    w.client->submit(BankAccount::make_deposit(100), [&](bool o, const Bytes&) { ok = o; });
+    // Race: fire the primary change while the request is in flight.
+    w.world.engine().schedule_after(usec(300),
+                                    [&] { w.services[1]->replication().request_primary_change(); });
+    ASSERT_TRUE(test::run_until(w.world.engine(), sec(30), [&] { return ok; }))
+        << "seed=" << seed;
+    w.world.run_for(msec(500));
+    // Exactly once, at every replica.
+    for (auto& s : w.services) {
+      EXPECT_EQ(static_cast<BankAccount&>(s->state()).balance(), 100) << "seed=" << seed;
+    }
+  }
+}
+
+TEST(PassiveClient, CrashedPrimaryFailoverServesClient) {
+  PassiveReplication::Config pcfg;
+  pcfg.primary_suspect_timeout = msec(100);
+  Client::Config ccfg;
+  ccfg.request_timeout = msec(120);
+  PassiveClientWorld w(9, pcfg, ccfg);
+  // Commit one through the healthy primary.
+  bool first = false;
+  w.client->submit(BankAccount::make_deposit(10), [&](bool o, const Bytes&) { first = o; });
+  ASSERT_TRUE(test::run_until(w.world.engine(), sec(10), [&] { return first; }));
+  // Crash the primary, then submit again: timeout -> retry -> redirect ->
+  // new primary serves it.
+  w.world.crash(0);
+  bool second = false;
+  std::int64_t balance = 0;
+  w.client->submit(BankAccount::make_deposit(5), [&](bool o, const Bytes& r) {
+    second = o;
+    balance = BankAccount::decode_result(r).second;
+  });
+  ASSERT_TRUE(test::run_until(w.world.engine(), sec(30), [&] { return second; }));
+  EXPECT_EQ(balance, 15);
+}
+
+}  // namespace
+}  // namespace gcs::replication

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "fd/failure_detector.hpp"
+#include "sim/context.hpp"
+#include "sim/network.hpp"
+#include "transport/sim_transport.hpp"
+#include "tests/test_util.hpp"
+
+namespace gcs {
+namespace {
+
+struct FdWorld {
+  sim::Engine engine;
+  sim::Network network;
+  struct Proc {
+    std::unique_ptr<sim::Context> ctx;
+    std::unique_ptr<SimTransport> transport;
+    std::unique_ptr<FailureDetector> fd;
+  };
+  std::vector<Proc> procs;
+
+  explicit FdWorld(int n, sim::LinkModel link = {}, FailureDetector::Config cfg = {},
+                   std::uint64_t seed = 1)
+      : network(engine, n, link, seed) {
+    procs.resize(static_cast<std::size_t>(n));
+    for (ProcessId p = 0; p < n; ++p) {
+      auto& proc = procs[static_cast<std::size_t>(p)];
+      proc.ctx = std::make_unique<sim::Context>(
+          p, engine, Rng(seed + static_cast<std::uint64_t>(p)), Logger(),
+          std::make_shared<Metrics>());
+      proc.transport = std::make_unique<SimTransport>(*proc.ctx, network);
+      proc.fd = std::make_unique<FailureDetector>(*proc.ctx, *proc.transport, cfg);
+    }
+  }
+};
+
+TEST(FailureDetector, NoSuspicionsWhenAllAlive) {
+  FdWorld w(3);
+  std::vector<FailureDetector::ClassId> cls;
+  for (auto& p : w.procs) {
+    cls.push_back(p.fd->add_class(msec(50)));
+    p.fd->monitor_group(cls.back(), {0, 1, 2});
+    p.fd->start();
+  }
+  w.engine.run_until(sec(2));
+  for (std::size_t i = 0; i < w.procs.size(); ++i) {
+    EXPECT_TRUE(w.procs[i].fd->suspected(cls[i]).empty());
+  }
+}
+
+TEST(FailureDetector, SuspectsCrashedProcessWithinTimeout) {
+  FdWorld w(3);
+  auto c0 = w.procs[0].fd->add_class(msec(50));
+  w.procs[0].fd->monitor_group(c0, {1, 2});
+  std::vector<std::pair<TimePoint, ProcessId>> suspicions;
+  w.procs[0].fd->on_suspect(c0, [&](ProcessId q) {
+    suspicions.emplace_back(w.engine.now(), q);
+  });
+  for (auto& p : w.procs) p.fd->start();
+  w.engine.run_until(msec(200));
+  w.network.crash(2);
+  const TimePoint crash_time = w.engine.now();
+  w.engine.run_until(crash_time + msec(200));
+  ASSERT_EQ(suspicions.size(), 1u);
+  EXPECT_EQ(suspicions[0].second, 2);
+  // Detection latency is about the timeout plus one heartbeat interval.
+  EXPECT_LE(suspicions[0].first - crash_time, msec(80));
+  EXPECT_TRUE(w.procs[0].fd->suspects(c0, 2));
+  EXPECT_FALSE(w.procs[0].fd->suspects(c0, 1));
+}
+
+TEST(FailureDetector, InjectedSuspicionIsRestoredByHeartbeat) {
+  FdWorld w(2);
+  auto c0 = w.procs[0].fd->add_class(msec(100));
+  w.procs[0].fd->monitor(c0, 1);
+  std::vector<ProcessId> restored;
+  w.procs[0].fd->on_restore(c0, [&](ProcessId q) { restored.push_back(q); });
+  for (auto& p : w.procs) p.fd->start();
+  w.engine.run_until(msec(50));
+  w.procs[0].fd->inject_suspicion(c0, 1);
+  EXPECT_TRUE(w.procs[0].fd->suspects(c0, 1));
+  w.engine.run_until(msec(100));
+  EXPECT_FALSE(w.procs[0].fd->suspects(c0, 1));
+  ASSERT_EQ(restored.size(), 1u);
+  EXPECT_EQ(restored[0], 1);
+  EXPECT_EQ(w.procs[0].fd->false_suspicions(), 1);
+}
+
+TEST(FailureDetector, ClassesAreIndependent) {
+  FdWorld w(2);
+  auto& fd = *w.procs[0].fd;
+  auto short_cls = fd.add_class(msec(30));
+  auto long_cls = fd.add_class(sec(2));
+  fd.monitor(short_cls, 1);
+  fd.monitor(long_cls, 1);
+  for (auto& p : w.procs) p.fd->start();
+  w.engine.run_until(msec(100));
+  w.network.crash(1);
+  const TimePoint crash_time = w.engine.now();
+  // Short class fires quickly; long class holds out.
+  w.engine.run_until(crash_time + msec(200));
+  EXPECT_TRUE(fd.suspects(short_cls, 1));
+  EXPECT_FALSE(fd.suspects(long_cls, 1));
+  w.engine.run_until(crash_time + sec(3));
+  EXPECT_TRUE(fd.suspects(long_cls, 1));
+}
+
+TEST(FailureDetector, LossyLinksCauseFalseSuspicionsWithTinyTimeout) {
+  // An aggressively small timeout over a lossy link must produce false
+  // suspicions that are later restored — the ◇S pattern the new
+  // architecture tolerates by design (paper §4.3).
+  FdWorld w(2, sim::LinkModel{usec(500), usec(500), 0.5},
+            FailureDetector::Config{msec(10)});
+  auto c0 = w.procs[0].fd->add_class(msec(20));
+  w.procs[0].fd->monitor(c0, 1);
+  for (auto& p : w.procs) p.fd->start();
+  w.engine.run_until(sec(20));
+  EXPECT_GT(w.procs[0].fd->false_suspicions(), 0);
+  // And with everything alive, no suspicion is permanent.
+  EXPECT_FALSE(w.procs[0].fd->suspects(c0, 1));
+}
+
+TEST(FailureDetector, UnmonitorClearsSuspicion) {
+  FdWorld w(2);
+  auto c0 = w.procs[0].fd->add_class(msec(30));
+  w.procs[0].fd->monitor(c0, 1);
+  for (auto& p : w.procs) p.fd->start();
+  w.network.crash(1);
+  w.engine.run_until(msec(200));
+  EXPECT_TRUE(w.procs[0].fd->suspects(c0, 1));
+  w.procs[0].fd->unmonitor(c0, 1);
+  EXPECT_FALSE(w.procs[0].fd->suspects(c0, 1));
+}
+
+TEST(FailureDetector, NeverMonitorsSelf) {
+  FdWorld w(2);
+  auto c0 = w.procs[0].fd->add_class(msec(10));
+  w.procs[0].fd->monitor(c0, 0);  // self: ignored
+  w.procs[0].fd->start();
+  w.engine.run_until(sec(1));
+  EXPECT_FALSE(w.procs[0].fd->suspects(c0, 0));
+}
+
+TEST(FailureDetector, StopSilencesHeartbeats) {
+  FdWorld w(2);
+  auto c1 = w.procs[1].fd->add_class(msec(50));
+  w.procs[1].fd->monitor(c1, 0);
+  for (auto& p : w.procs) p.fd->start();
+  w.engine.run_until(msec(100));
+  EXPECT_FALSE(w.procs[1].fd->suspects(c1, 0));
+  w.procs[0].fd->stop();  // voluntary leave: stops heartbeating
+  w.engine.run_until(msec(300));
+  EXPECT_TRUE(w.procs[1].fd->suspects(c1, 0));
+}
+
+TEST(FailureDetector, TimeoutAdjustableAtRuntime) {
+  FdWorld w(2);
+  auto c0 = w.procs[0].fd->add_class(sec(10));
+  w.procs[0].fd->monitor(c0, 1);
+  for (auto& p : w.procs) p.fd->start();
+  w.network.crash(1);
+  w.engine.run_until(msec(500));
+  EXPECT_FALSE(w.procs[0].fd->suspects(c0, 1));
+  w.procs[0].fd->set_timeout(c0, msec(100));
+  EXPECT_EQ(w.procs[0].fd->timeout(c0), msec(100));
+  w.engine.run_until(w.engine.now() + msec(200));
+  EXPECT_TRUE(w.procs[0].fd->suspects(c0, 1));
+}
+
+}  // namespace
+}  // namespace gcs

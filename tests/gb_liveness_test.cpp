@@ -1,0 +1,117 @@
+/// Generic-broadcast liveness under crashes DURING resolution: a round's
+/// resolution waits for n−f adelivered reports; if a member dies before
+/// reporting, the round can only finish once the membership excludes the
+/// corpse and the quorum arithmetic shrinks (set_group → re-finalize).
+#include <gtest/gtest.h>
+
+#include "core/stack.hpp"
+#include "tests/test_util.hpp"
+
+namespace gcs {
+namespace {
+
+using test::bytes_of;
+
+TEST(GbLiveness, ResolutionSurvivesReporterCrashViaExclusion) {
+  StackConfig sc;
+  sc.monitoring.exclusion_timeout = msec(500);
+  sc.gb.resolve_timeout = msec(100);
+  World::Config cfg;
+  cfg.n = 5;  // f = 1 for GB; consensus survives 2 crashes
+  cfg.seed = 21;
+  cfg.stack = sc;
+  World w(cfg);
+  std::vector<std::vector<MsgId>> logs(5);
+  for (ProcessId p = 0; p < 5; ++p) {
+    w.stack(p).on_gdeliver([&logs, p](const MsgId& id, MsgClass, const Bytes&) {
+      logs[static_cast<std::size_t>(p)].push_back(id);
+    });
+  }
+  w.found_group_all();
+  // Two conflicting messages force a resolution...
+  w.stack(0).gbcast(kAbcastClass, bytes_of("x"));
+  w.stack(1).gbcast(kAbcastClass, bytes_of("y"));
+  // ...and TWO members die immediately: only 3 of 5 are alive, below the
+  // n−f = 4 report quorum, so (unless their reports were already on the
+  // wire) the round stalls until the monitoring exclusions shrink the view
+  // to 3 members and set_group() re-finalizes with report_need = 3.
+  // Consensus itself survives (3 is a majority of 5), so the exclusions
+  // can still be ordered.
+  w.run_for(usec(400));
+  w.crash(3);
+  w.crash(4);
+  ASSERT_TRUE(test::run_until(w.engine(), sec(30), [&] {
+    for (ProcessId p = 0; p < 3; ++p) {
+      if (logs[static_cast<std::size_t>(p)].size() < 2) return false;
+    }
+    return true;
+  }));
+  // Conflicting pair ordered identically at the survivors.
+  for (ProcessId p = 1; p < 3; ++p) {
+    EXPECT_EQ(logs[static_cast<std::size_t>(p)], logs[0]);
+  }
+  ASSERT_TRUE(test::run_until(w.engine(), sec(30), [&] {
+    return !w.stack(0).view().contains(3) && !w.stack(0).view().contains(4);
+  }));
+}
+
+TEST(GbLiveness, ResolutionAcrossAJoin) {
+  // A join lands in the middle of a resolution round: the reports and the
+  // view change share the total order, so every member still computes the
+  // same first/second sets.
+  World::Config cfg;
+  cfg.n = 5;
+  cfg.seed = 33;
+  World w(cfg);
+  std::vector<std::vector<MsgId>> logs(5);
+  for (ProcessId p = 0; p < 5; ++p) {
+    w.stack(p).on_gdeliver([&logs, p](const MsgId& id, MsgClass, const Bytes&) {
+      logs[static_cast<std::size_t>(p)].push_back(id);
+    });
+  }
+  w.found_group({0, 1, 2, 3});
+  // Kick off conflicting traffic and the join "simultaneously".
+  w.stack(0).gbcast(kAbcastClass, bytes_of("m1"));
+  w.stack(2).gbcast(kAbcastClass, bytes_of("m2"));
+  w.stack(4).join(1);
+  ASSERT_TRUE(test::run_until(w.engine(), sec(30), [&] {
+    if (!w.stack(4).membership().is_member()) return false;
+    for (ProcessId p = 0; p < 4; ++p) {
+      if (logs[static_cast<std::size_t>(p)].size() < 2) return false;
+    }
+    return true;
+  }));
+  for (ProcessId p = 1; p < 4; ++p) {
+    EXPECT_EQ(logs[static_cast<std::size_t>(p)], logs[0]);
+  }
+  // Post-join gbcast reaches the joiner too.
+  w.stack(4).gbcast(kAbcastClass, bytes_of("m3"));
+  ASSERT_TRUE(test::run_until(w.engine(), sec(20), [&] {
+    return !logs[4].empty() && logs[0].size() >= 3;
+  }));
+}
+
+TEST(GbLiveness, FastPathRecoversAfterRoundEnds) {
+  // After a resolution round, the next round's fast path works again: a
+  // fresh non-conflicting message avoids consensus.
+  World::Config cfg;
+  cfg.n = 4;
+  cfg.seed = 9;
+  World w(cfg);
+  std::size_t delivered = 0;
+  w.stack(0).on_gdeliver([&](const MsgId&, MsgClass, const Bytes&) { ++delivered; });
+  w.found_group_all();
+  w.stack(0).gbcast(kAbcastClass, bytes_of("c1"));
+  w.stack(1).gbcast(kAbcastClass, bytes_of("c2"));
+  ASSERT_TRUE(test::run_until(w.engine(), sec(20), [&] { return delivered >= 2; }));
+  const auto consensus_after_resolution = w.stack(0).consensus().instances_decided();
+  const auto fast_before = w.stack(0).generic_broadcast().fast_deliveries();
+  w.stack(2).rbcast(bytes_of("fresh"));
+  ASSERT_TRUE(test::run_until(w.engine(), sec(10), [&] { return delivered >= 3; }));
+  w.run_for(msec(100));
+  EXPECT_GT(w.stack(0).generic_broadcast().fast_deliveries(), fast_before);
+  EXPECT_EQ(w.stack(0).consensus().instances_decided(), consensus_after_resolution);
+}
+
+}  // namespace
+}  // namespace gcs

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/stack.hpp"
+#include "tests/test_util.hpp"
+
+namespace gcs {
+namespace {
+
+using test::bytes_of;
+using test::str_of;
+
+struct GbLog {
+  std::vector<MsgId> order;
+  std::map<MsgId, MsgClass> classes;
+  std::map<MsgId, std::string> payloads;
+
+  void record(const MsgId& id, MsgClass cls, const Bytes& b) {
+    order.push_back(id);
+    classes[id] = cls;
+    payloads[id] = str_of(b);
+  }
+  /// Position of id in the delivery order, or npos.
+  std::size_t position(const MsgId& id) const {
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (order[i] == id) return i;
+    }
+    return static_cast<std::size_t>(-1);
+  }
+};
+
+struct GbWorld {
+  World world;
+  std::vector<GbLog> logs;
+
+  explicit GbWorld(int n, ConflictRelation rel = ConflictRelation::rbcast_abcast(),
+                   std::uint64_t seed = 1, sim::LinkModel link = {})
+      : world(make_config(n, std::move(rel), seed, link)), logs(static_cast<std::size_t>(n)) {
+    for (ProcessId p = 0; p < n; ++p) {
+      auto& log = logs[static_cast<std::size_t>(p)];
+      world.stack(p).on_gdeliver(
+          [&log](const MsgId& id, MsgClass cls, const Bytes& b) { log.record(id, cls, b); });
+    }
+    world.found_group_all();
+  }
+
+  static World::Config make_config(int n, ConflictRelation rel, std::uint64_t seed,
+                                   sim::LinkModel link) {
+    World::Config cfg;
+    cfg.n = n;
+    cfg.seed = seed;
+    cfg.link = link;
+    cfg.stack.conflict = std::move(rel);
+    return cfg;
+  }
+
+  bool all_alive_delivered(std::size_t count) {
+    for (ProcessId p = 0; p < static_cast<ProcessId>(logs.size()); ++p) {
+      if (!world.network().alive(p)) continue;
+      if (logs[static_cast<std::size_t>(p)].order.size() < count) return false;
+    }
+    return true;
+  }
+
+  /// Check the generic-broadcast order property: conflicting pairs are
+  /// delivered in the same relative order at every pair of processes.
+  void expect_conflict_order(const ConflictRelation& rel) {
+    for (std::size_t a = 0; a < logs.size(); ++a) {
+      for (std::size_t b = a + 1; b < logs.size(); ++b) {
+        const auto& la = logs[a];
+        const auto& lb = logs[b];
+        for (std::size_t i = 0; i < la.order.size(); ++i) {
+          for (std::size_t j = i + 1; j < la.order.size(); ++j) {
+            const MsgId x = la.order[i];
+            const MsgId y = la.order[j];
+            if (!rel.conflicts(la.classes.at(x), la.classes.at(y))) continue;
+            const std::size_t px = lb.position(x);
+            const std::size_t py = lb.position(y);
+            if (px == static_cast<std::size_t>(-1) || py == static_cast<std::size_t>(-1)) continue;
+            EXPECT_LT(px, py) << "conflicting pair " << to_string(x) << "," << to_string(y)
+                              << " ordered differently at p" << a << " and p" << b;
+          }
+        }
+      }
+    }
+  }
+};
+
+TEST(GenericBroadcast, NonConflictingFastPathAvoidsConsensus) {
+  GbWorld w(4);
+  for (int i = 0; i < 10; ++i) {
+    w.world.stack(static_cast<ProcessId>(i % 4)).rbcast(bytes_of("m" + std::to_string(i)));
+  }
+  ASSERT_TRUE(test::run_until(w.world, sec(5), [&] { return w.all_alive_delivered(10); }));
+  for (ProcessId p = 0; p < 4; ++p) {
+    auto& gb = w.world.stack(p).generic_broadcast();
+    EXPECT_EQ(gb.fast_deliveries(), 10u);
+    EXPECT_EQ(gb.resolved_deliveries(), 0u);
+    EXPECT_EQ(gb.rounds_resolved(), 0u);
+    // Thrifty: no consensus ran at all.
+    EXPECT_EQ(w.world.stack(p).consensus().instances_decided(), 0);
+  }
+}
+
+TEST(GenericBroadcast, ConflictingMessagesTriggerResolutionAndAgree) {
+  GbWorld w(4);
+  // Two conflicting (class 1) messages from different senders, racing.
+  const MsgId m1 = w.world.stack(0).gbcast(kAbcastClass, bytes_of("a"));
+  const MsgId m2 = w.world.stack(1).gbcast(kAbcastClass, bytes_of("b"));
+  ASSERT_TRUE(test::run_until(w.world, sec(10), [&] { return w.all_alive_delivered(2); }));
+  w.expect_conflict_order(ConflictRelation::rbcast_abcast());
+  // All processes delivered both, in the same order.
+  const auto& ref = w.logs[0].order;
+  for (ProcessId p = 1; p < 4; ++p) {
+    EXPECT_EQ(w.logs[static_cast<std::size_t>(p)].order, ref);
+  }
+  EXPECT_TRUE((ref[0] == m1 && ref[1] == m2) || (ref[0] == m2 && ref[1] == m1));
+  EXPECT_GT(w.world.stack(0).generic_broadcast().rounds_resolved(), 0u);
+}
+
+TEST(GenericBroadcast, MixedTrafficOrdersConflictsOnly) {
+  GbWorld w(4, ConflictRelation::rbcast_abcast(), 7);
+  for (int i = 0; i < 20; ++i) {
+    const MsgClass cls = (i % 5 == 0) ? kAbcastClass : kRbcastClass;
+    w.world.stack(static_cast<ProcessId>(i % 4)).gbcast(cls, bytes_of(std::to_string(i)));
+  }
+  ASSERT_TRUE(test::run_until(w.world, sec(20), [&] { return w.all_alive_delivered(20); }));
+  w.expect_conflict_order(ConflictRelation::rbcast_abcast());
+}
+
+TEST(GenericBroadcast, AllConflictBehavesLikeAtomicBroadcast) {
+  GbWorld w(4, ConflictRelation::all_conflict());
+  for (int i = 0; i < 8; ++i) {
+    w.world.stack(static_cast<ProcessId>(i % 4)).gbcast(0, bytes_of(std::to_string(i)));
+  }
+  ASSERT_TRUE(test::run_until(w.world, sec(20), [&] { return w.all_alive_delivered(8); }));
+  // Total order across ALL messages.
+  for (ProcessId p = 1; p < 4; ++p) {
+    EXPECT_EQ(w.logs[static_cast<std::size_t>(p)].order, w.logs[0].order);
+  }
+}
+
+TEST(GenericBroadcast, NoneConflictNeverResolves) {
+  GbWorld w(4, ConflictRelation::none_conflict());
+  for (int i = 0; i < 12; ++i) {
+    w.world.stack(static_cast<ProcessId>(i % 4)).gbcast(static_cast<MsgClass>(i % 2),
+                                                        bytes_of(std::to_string(i)));
+  }
+  ASSERT_TRUE(test::run_until(w.world, sec(5), [&] { return w.all_alive_delivered(12); }));
+  for (ProcessId p = 0; p < 4; ++p) {
+    EXPECT_EQ(w.world.stack(p).generic_broadcast().rounds_resolved(), 0u);
+  }
+}
+
+TEST(GenericBroadcast, UpdatePrimaryChangeTable) {
+  // The §3.2.3 conflict table: updates commute, primary-change orders all.
+  const auto rel = ConflictRelation::update_primary_change();
+  EXPECT_FALSE(rel.conflicts(kRbcastClass, kRbcastClass));
+  EXPECT_TRUE(rel.conflicts(kRbcastClass, kAbcastClass));
+  EXPECT_TRUE(rel.conflicts(kAbcastClass, kRbcastClass));
+  EXPECT_TRUE(rel.conflicts(kAbcastClass, kAbcastClass));
+}
+
+TEST(GenericBroadcast, DeliveryIsUniformAcrossProcesses) {
+  GbWorld w(4, ConflictRelation::rbcast_abcast(), 11,
+            sim::LinkModel{usec(200), usec(400), 0.1});
+  for (int i = 0; i < 15; ++i) {
+    const MsgClass cls = (i % 3 == 0) ? kAbcastClass : kRbcastClass;
+    w.world.stack(static_cast<ProcessId>(i % 4)).gbcast(cls, bytes_of(std::to_string(i)));
+  }
+  ASSERT_TRUE(test::run_until(w.world, sec(30), [&] { return w.all_alive_delivered(15); }));
+  // Same message set everywhere.
+  std::set<MsgId> ref(w.logs[0].order.begin(), w.logs[0].order.end());
+  for (ProcessId p = 1; p < 4; ++p) {
+    std::set<MsgId> got(w.logs[static_cast<std::size_t>(p)].order.begin(),
+                        w.logs[static_cast<std::size_t>(p)].order.end());
+    EXPECT_EQ(got, ref);
+  }
+  w.expect_conflict_order(ConflictRelation::rbcast_abcast());
+}
+
+TEST(GenericBroadcast, SurvivesOneCrashWithTimeoutResolution) {
+  GbWorld w(4);
+  // Crash one process; fast quorum is 3 of 4, so the fast path still works;
+  // when it doesn't (acks lost to the crash), the deadline path resolves.
+  w.world.crash(3);
+  for (int i = 0; i < 6; ++i) {
+    w.world.stack(static_cast<ProcessId>(i % 3)).rbcast(bytes_of(std::to_string(i)));
+  }
+  ASSERT_TRUE(test::run_until(w.world, sec(30), [&] { return w.all_alive_delivered(6); }));
+}
+
+TEST(GenericBroadcast, ConflictAfterFastDeliveryOrdersCorrectly) {
+  GbWorld w(4);
+  // m1 fast-delivers first; then m2 (conflicting class) arrives. Everyone
+  // must order m1 before m2.
+  const MsgId m1 = w.world.stack(0).rbcast(bytes_of("update"));
+  ASSERT_TRUE(test::run_until(w.world, sec(5), [&] { return w.all_alive_delivered(1); }));
+  const MsgId m2 = w.world.stack(1).gbcast(kAbcastClass, bytes_of("primary-change"));
+  ASSERT_TRUE(test::run_until(w.world, sec(10), [&] { return w.all_alive_delivered(2); }));
+  for (ProcessId p = 0; p < 4; ++p) {
+    const auto& log = w.logs[static_cast<std::size_t>(p)];
+    EXPECT_LT(log.position(m1), log.position(m2)) << "at p" << p;
+  }
+}
+
+TEST(GenericBroadcast, ThriftyConsensusCountScalesWithConflicts) {
+  // More conflicting messages => more ordering work; zero conflicts => none.
+  auto consensus_count = [](double conflict_fraction) {
+    GbWorld w(4, ConflictRelation::rbcast_abcast(), 23);
+    const int total = 20;
+    const int conflicting = static_cast<int>(total * conflict_fraction);
+    for (int i = 0; i < total; ++i) {
+      const MsgClass cls = (i < conflicting) ? kAbcastClass : kRbcastClass;
+      w.world.stack(static_cast<ProcessId>(i % 4)).gbcast(cls, bytes_of(std::to_string(i)));
+    }
+    test::run_until(w.world, sec(60), [&] { return w.all_alive_delivered(20); });
+    return w.world.stack(0).consensus().instances_decided();
+  };
+  const auto none = consensus_count(0.0);
+  const auto all = consensus_count(1.0);
+  EXPECT_EQ(none, 0);
+  EXPECT_GT(all, 0);
+}
+
+/// Property sweep over seeds: agreement on conflicting pairs under jitter,
+/// loss and random class mixes.
+class GbcastProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GbcastProperty, ConflictOrderHolds) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  sim::LinkModel link{usec(100 + rng.next_range(0, 300)), usec(rng.next_range(0, 500)),
+                      rng.next_double() * 0.1};
+  GbWorld w(4, ConflictRelation::rbcast_abcast(), seed, link);
+  const int total = 12;
+  for (int i = 0; i < total; ++i) {
+    const MsgClass cls = rng.chance(0.3) ? kAbcastClass : kRbcastClass;
+    w.world.stack(static_cast<ProcessId>(rng.next_below(4))).gbcast(
+        cls, bytes_of(std::to_string(i)));
+  }
+  ASSERT_TRUE(test::run_until(w.world, sec(60), [&] {
+    return w.all_alive_delivered(static_cast<std::size_t>(total));
+  })) << "seed=" << seed;
+  w.expect_conflict_order(ConflictRelation::rbcast_abcast());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GbcastProperty, ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace gcs

@@ -1,0 +1,76 @@
+/// Edge cases of the garbage-collection paths: consensus decision
+/// forgetting, graceful leave, network taps.
+#include <gtest/gtest.h>
+
+#include "core/stack.hpp"
+#include "tests/test_util.hpp"
+
+namespace gcs {
+namespace {
+
+using test::bytes_of;
+
+TEST(GcEdge, ConsensusForgetsOldDecisionValues) {
+  World::Config cfg;
+  cfg.n = 3;
+  cfg.seed = 2;
+  World w(cfg);
+  std::size_t delivered = 0;
+  w.stack(0).on_adeliver([&](const MsgId&, const Bytes&) { ++delivered; });
+  w.found_group_all();
+  // Drive well past the 16-instance forget tail.
+  for (int i = 0; i < 40; ++i) {
+    w.stack(static_cast<ProcessId>(i % 3)).abcast(bytes_of(std::to_string(i)));
+    w.run_for(msec(5));
+  }
+  ASSERT_TRUE(test::run_until(w.engine(), sec(30), [&] { return delivered >= 40; }));
+  // decided(k) for an ancient instance is now false (value forgotten) but
+  // ordering state is intact: more traffic still flows and stays ordered.
+  EXPECT_FALSE(w.stack(0).consensus().decided(0));
+  EXPECT_GE(w.stack(0).atomic_broadcast().next_instance(), 17u);
+  w.stack(1).abcast(bytes_of("after-gc"));
+  ASSERT_TRUE(test::run_until(w.engine(), sec(10), [&] { return delivered >= 41; }));
+}
+
+TEST(GcEdge, GracefulLeaveStopsHeartbeatsWithoutSuspicion) {
+  World::Config cfg;
+  cfg.n = 3;
+  cfg.seed = 4;
+  cfg.stack.monitoring.exclusion_timeout = msec(400);
+  World w(cfg);
+  w.found_group_all();
+  w.run_for(msec(100));
+  w.stack(2).leave();
+  ASSERT_TRUE(test::run_until(w.engine(), sec(10), [&] {
+    return !w.stack(0).view().contains(2) && !w.stack(2).membership().is_member();
+  }));
+  // No suspicion-driven churn afterwards: the view stays {0,1}.
+  const auto views = w.stack(0).membership().views_installed();
+  w.run_for(sec(2));
+  EXPECT_EQ(w.stack(0).membership().views_installed(), views);
+  EXPECT_EQ(w.stack(0).view().members, (std::vector<ProcessId>{0, 1}));
+  // The leave was voluntary: monitoring never had to request an exclusion.
+  EXPECT_EQ(w.stack(0).metrics().counter("monitoring.exclusions_requested"), 0);
+}
+
+TEST(GcEdge, NetworkTapSeesEveryDatagram) {
+  World::Config cfg;
+  cfg.n = 3;
+  cfg.seed = 6;
+  World w(cfg);
+  std::int64_t tapped = 0;
+  std::int64_t tapped_bytes = 0;
+  w.network().set_tap([&](ProcessId, ProcessId, const Bytes& b) {
+    ++tapped;
+    tapped_bytes += static_cast<std::int64_t>(b.size());
+  });
+  w.found_group_all();
+  w.stack(0).abcast(bytes_of("traced"));
+  w.run_for(msec(100));
+  EXPECT_EQ(tapped, w.network().metrics().counter("net.sent"));
+  EXPECT_EQ(tapped_bytes, w.network().metrics().counter("net.bytes_sent"));
+  EXPECT_GT(tapped, 0);
+}
+
+}  // namespace
+}  // namespace gcs

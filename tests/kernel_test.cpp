@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "kernel/layers.hpp"
+#include "tests/test_util.hpp"
+
+namespace gcs::kernel {
+namespace {
+
+using test::bytes_of;
+
+/// A stack with a trace layer at every position to observe routing.
+struct TracedStack {
+  ProtocolStack stack;
+  TraceLayer* bottom_trace;
+  TraceLayer* top_trace;
+
+  TracedStack() {
+    auto b = std::make_unique<TraceLayer>("trace-bottom");
+    bottom_trace = b.get();
+    stack.push_layer(std::move(b));
+    auto t = std::make_unique<TraceLayer>("trace-top");
+    top_trace = t.get();
+    stack.push_layer(std::move(t));
+  }
+};
+
+TEST(Kernel, DownEventVisitsTopToBottomThenHook) {
+  TracedStack s;
+  std::vector<std::string> order;
+  s.stack.set_bottom_hook([&](Event&) { order.push_back("wire"); });
+  s.stack.inject(Event::send_to(1, bytes_of("x")));
+  ASSERT_EQ(s.top_trace->entries().size(), 1u);
+  ASSERT_EQ(s.bottom_trace->entries().size(), 1u);
+  ASSERT_EQ(order, (std::vector<std::string>{"wire"}));
+}
+
+TEST(Kernel, UpEventVisitsBottomToTopThenHook) {
+  TracedStack s;
+  bool topped = false;
+  s.stack.set_top_hook([&](Event& e) {
+    topped = true;
+    EXPECT_EQ(e.peer, 3);
+  });
+  s.stack.inject(Event::deliver_from(3, bytes_of("y")));
+  EXPECT_TRUE(topped);
+  EXPECT_EQ(s.bottom_trace->entries().size(), 1u);
+  EXPECT_EQ(s.top_trace->entries().size(), 1u);
+}
+
+TEST(Kernel, SubscriptionFiltering) {
+  // A layer that subscribes only to kProbeTick must not see sends.
+  struct PickyLayer final : Layer {
+    int seen = 0;
+    std::string name() const override { return "picky"; }
+    std::set<EventKind> subscriptions() const override { return {kProbeTick}; }
+    Verdict handle(Event&, ProtocolStack&) override {
+      ++seen;
+      return Verdict::kForward;
+    }
+  };
+  ProtocolStack stack;
+  auto picky = std::make_unique<PickyLayer>();
+  auto* p = picky.get();
+  stack.push_layer(std::move(picky));
+  stack.inject(Event::send_to(0, bytes_of("ignored")));
+  EXPECT_EQ(p->seen, 0);
+  Event tick;
+  tick.kind = kProbeTick;
+  tick.direction = Direction::kDown;
+  stack.inject(std::move(tick));
+  EXPECT_EQ(p->seen, 1);
+}
+
+TEST(Kernel, ConsumeStopsRouting) {
+  struct Eater final : Layer {
+    std::string name() const override { return "eater"; }
+    std::set<EventKind> subscriptions() const override { return {kSendEvent}; }
+    Verdict handle(Event&, ProtocolStack&) override { return Verdict::kConsume; }
+  };
+  ProtocolStack stack;
+  auto bottom = std::make_unique<TraceLayer>("below");
+  auto* below = bottom.get();
+  stack.push_layer(std::move(bottom));
+  stack.push_layer(std::make_unique<Eater>());
+  bool wired = false;
+  stack.set_bottom_hook([&](Event&) { wired = true; });
+  stack.inject(Event::send_to(0, bytes_of("z")));  // enters at top: eater first
+  EXPECT_FALSE(wired);
+  EXPECT_TRUE(below->entries().empty());
+}
+
+TEST(Kernel, BounceAtBottomTravelsBackUp) {
+  // The paper's §2.2 stability pattern: a down event bounces at the bottom
+  // and is seen travelling UP by every layer above.
+  ProtocolStack stack;
+  auto trace = std::make_unique<TraceLayer>("t");
+  auto* t = trace.get();
+  stack.push_layer(std::move(trace));
+  stack.set_bottom_hook([](Event& e) {
+    if (e.kind == kStabilityEvent) e.direction = Direction::kUp;  // bounce
+  });
+  Event note;
+  note.kind = kStabilityEvent;
+  note.direction = Direction::kDown;
+  stack.inject(std::move(note));
+  // The trace saw it twice: once going down, once coming back up.
+  ASSERT_EQ(t->entries().size(), 2u);
+  EXPECT_EQ(t->entries()[0].direction, Direction::kDown);
+  EXPECT_EQ(t->entries()[1].direction, Direction::kUp);
+}
+
+TEST(Kernel, EmittedEventsRunAfterCurrentOne) {
+  // Run-to-completion: a handler emitting a new event never preempts the
+  // event being routed.
+  struct Emitter final : Layer {
+    std::size_t self = 0;
+    std::string name() const override { return "emitter"; }
+    std::set<EventKind> subscriptions() const override { return {kSendEvent}; }
+    Verdict handle(Event& e, ProtocolStack& s) override {
+      if (e.attrs.count("child")) return Verdict::kForward;
+      Event child = Event::send_to(e.peer, e.payload);
+      child.attrs["child"] = 1;
+      s.emit(std::move(child), self);
+      return Verdict::kForward;
+    }
+  };
+  ProtocolStack stack;
+  std::vector<std::int64_t> arrivals;
+  auto em = std::make_unique<Emitter>();
+  em->self = 0;
+  stack.push_layer(std::move(em));
+  stack.set_bottom_hook([&](Event& e) {
+    arrivals.push_back(e.attrs.count("child") ? e.attrs.at("child") : 0);
+  });
+  stack.inject(Event::send_to(2, bytes_of("m")));
+  // Parent reached the wire first, then the child.
+  ASSERT_EQ(arrivals, (std::vector<std::int64_t>{0, 1}));
+}
+
+TEST(Kernel, FifoLayerReordersUpTraffic) {
+  ProtocolStack stack;
+  auto fifo = std::make_unique<FifoLayer>();
+  auto* f = fifo.get();
+  f->set_self_index(0);
+  stack.push_layer(std::move(fifo));
+  std::vector<std::int64_t> delivered;
+  stack.set_top_hook([&](Event& e) { delivered.push_back(e.attrs.at("fifo.seq")); });
+  // Up-traffic arrives out of order: 1, 0, 2.
+  for (std::int64_t seq : {1, 0, 2}) {
+    Event e = Event::deliver_from(5, bytes_of("p"));
+    e.attrs["fifo.seq"] = seq;
+    stack.inject(std::move(e));
+  }
+  EXPECT_EQ(delivered, (std::vector<std::int64_t>{0, 1, 2}));
+  EXPECT_EQ(f->held_back(), 0u);
+}
+
+TEST(Kernel, FifoLayerStampsDownTraffic) {
+  ProtocolStack stack;
+  auto fifo = std::make_unique<FifoLayer>();
+  fifo->set_self_index(0);
+  stack.push_layer(std::move(fifo));
+  std::vector<std::int64_t> stamped;
+  stack.set_bottom_hook([&](Event& e) { stamped.push_back(e.attrs.at("fifo.seq")); });
+  for (int i = 0; i < 3; ++i) stack.inject(Event::send_to(1, bytes_of("m")));
+  EXPECT_EQ(stamped, (std::vector<std::int64_t>{0, 1, 2}));
+}
+
+TEST(Kernel, StableLayerNotificationPrunesBufferViaBounce) {
+  // Rebuild the Fig 5 interaction in miniature:
+  //   [0] buffer   (keeps sent messages for retransmission)
+  //   [1] stable   (detects stability, emits the bounced notification)
+  ProtocolStack stack;
+  auto buffer = std::make_unique<BufferLayer>();
+  auto* buf = buffer.get();
+  stack.push_layer(std::move(buffer));
+  auto stable = std::make_unique<StableLayer>();
+  stable->set_self_index(1);
+  stack.push_layer(std::move(stable));
+  stack.set_bottom_hook([](Event& e) {
+    if (e.kind == kStabilityEvent) e.direction = Direction::kUp;  // bounce
+  });
+  for (int i = 0; i < 4; ++i) stack.inject(Event::send_to(1, bytes_of("m")));
+  EXPECT_EQ(buf->buffered(), 4u);
+  // Probe: stable emits the notification down; it passes the buffer going
+  // down, bounces, and prunes on the way up.
+  Event tick;
+  tick.kind = kProbeTick;
+  tick.direction = Direction::kDown;
+  stack.inject(std::move(tick));
+  EXPECT_TRUE(buf->saw_down_notification());
+  EXPECT_TRUE(buf->saw_up_notification());
+  EXPECT_EQ(buf->buffered(), 0u);
+}
+
+TEST(Kernel, DescribeListsLayersBottomUp) {
+  ProtocolStack stack;
+  stack.push_layer(std::make_unique<FifoLayer>());
+  stack.push_layer(std::make_unique<BufferLayer>());
+  stack.push_layer(std::make_unique<StableLayer>());
+  EXPECT_EQ(stack.describe(),
+            (std::vector<std::string>{"fifo", "buffer", "stable"}));
+}
+
+}  // namespace
+}  // namespace gcs::kernel

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "replication/lock_service.hpp"
+#include "tests/test_util.hpp"
+
+namespace gcs::replication {
+namespace {
+
+TEST(LockTable, AcquireReleaseQueueDiscipline) {
+  LockTable t;
+  auto r1 = LockTable::decode_result(t.apply(LockTable::make_acquire("L", "a")));
+  EXPECT_TRUE(r1.first);
+  EXPECT_EQ(r1.second, "a");
+  auto r2 = LockTable::decode_result(t.apply(LockTable::make_acquire("L", "b")));
+  EXPECT_FALSE(r2.first);
+  EXPECT_EQ(r2.second, "a");
+  EXPECT_EQ(t.queue_length("L"), 2u);
+  t.apply(LockTable::make_release("L", "a"));
+  EXPECT_EQ(t.holder("L"), "b");
+  t.apply(LockTable::make_release("L", "b"));
+  EXPECT_EQ(t.holder("L"), "");
+  // Grant log recorded the full holder sequence.
+  ASSERT_EQ(t.grant_log().size(), 2u);
+  EXPECT_EQ(t.grant_log()[0].second, "a");
+  EXPECT_EQ(t.grant_log()[1].second, "b");
+}
+
+TEST(LockTable, DuplicateAcquireIsIdempotent) {
+  LockTable t;
+  t.apply(LockTable::make_acquire("L", "a"));
+  t.apply(LockTable::make_acquire("L", "a"));
+  EXPECT_EQ(t.queue_length("L"), 1u);
+}
+
+TEST(LockTable, AbandonQueueSlot) {
+  LockTable t;
+  t.apply(LockTable::make_acquire("L", "a"));
+  t.apply(LockTable::make_acquire("L", "b"));
+  // b leaves the queue without ever holding; no spurious grant.
+  t.apply(LockTable::make_release("L", "b"));
+  EXPECT_EQ(t.holder("L"), "a");
+  EXPECT_EQ(t.grant_log().size(), 1u);
+}
+
+TEST(LockTable, CleanupGrantsOnward) {
+  LockTable t;
+  t.apply(LockTable::make_acquire("L1", "dead"));
+  t.apply(LockTable::make_acquire("L1", "alive"));
+  t.apply(LockTable::make_acquire("L2", "dead"));
+  t.apply(LockTable::make_cleanup("dead"));
+  EXPECT_EQ(t.holder("L1"), "alive");
+  EXPECT_EQ(t.holder("L2"), "");
+}
+
+TEST(LockTable, SnapshotRoundTrip) {
+  LockTable a;
+  a.apply(LockTable::make_acquire("L", "x"));
+  a.apply(LockTable::make_acquire("L", "y"));
+  LockTable b;
+  b.restore(a.snapshot());
+  EXPECT_EQ(b.holder("L"), "x");
+  EXPECT_EQ(b.queue_length("L"), 2u);
+  EXPECT_EQ(b.grant_log(), a.grant_log());
+}
+
+struct LockWorld {
+  World world;
+  std::vector<std::unique_ptr<LockService>> services;
+
+  explicit LockWorld(int n, std::uint64_t seed = 1, Duration exclusion = sec(60))
+      : world(make(n, seed, exclusion)) {
+    world.found_group_all();
+    for (ProcessId p = 0; p < n; ++p) {
+      services.push_back(std::make_unique<LockService>(world.stack(p)));
+    }
+  }
+  static World::Config make(int n, std::uint64_t seed, Duration exclusion) {
+    World::Config c;
+    c.n = n;
+    c.seed = seed;
+    c.stack.monitoring.exclusion_timeout = exclusion;
+    return c;
+  }
+};
+
+TEST(LockService, MutualExclusionUnderContention) {
+  LockWorld w(4, 3);
+  std::vector<int> grant_order;
+  for (ProcessId p = 0; p < 4; ++p) {
+    w.services[static_cast<std::size_t>(p)]->acquire(
+        "mutex", [&grant_order, p, &w](const std::string&) {
+          grant_order.push_back(p);
+          // Hold briefly, then release.
+          w.world.engine().schedule_after(msec(5), [&w, p] {
+            w.services[static_cast<std::size_t>(p)]->release("mutex");
+          });
+        });
+  }
+  ASSERT_TRUE(test::run_until(w.world.engine(), sec(30),
+                              [&] { return grant_order.size() == 4; }));
+  w.world.run_for(msec(500));  // let every replica apply the trailing grants
+  // Every replica saw the same holder sequence (mutual exclusion audit).
+  const auto& ref = w.services[0]->table().grant_log();
+  EXPECT_EQ(ref.size(), 4u);
+  for (ProcessId p = 1; p < 4; ++p) {
+    EXPECT_EQ(w.services[static_cast<std::size_t>(p)]->table().grant_log(), ref);
+  }
+  // All four distinct processes were granted exactly once.
+  std::set<int> uniq(grant_order.begin(), grant_order.end());
+  EXPECT_EQ(uniq.size(), 4u);
+}
+
+TEST(LockService, CrashedHolderIsCleanedUpAfterExclusion) {
+  LockWorld w(4, 7, msec(500));
+  bool p1_granted = false;
+  w.services[0]->acquire("mutex", [](const std::string&) {});
+  ASSERT_TRUE(test::run_until(w.world.engine(), sec(5),
+                              [&] { return w.services[0]->holds("mutex"); }));
+  w.services[1]->acquire("mutex", [&](const std::string&) { p1_granted = true; });
+  w.world.run_for(msec(50));
+  EXPECT_FALSE(p1_granted);
+  // The holder dies; monitoring excludes it; the view head submits cleanup;
+  // p1 inherits the lock.
+  w.world.crash(0);
+  ASSERT_TRUE(test::run_until(w.world.engine(), sec(20), [&] { return p1_granted; }));
+  EXPECT_TRUE(w.services[1]->holds("mutex"));
+}
+
+TEST(LockService, IndependentLocksDontInterfere) {
+  LockWorld w(3, 9);
+  bool a = false, b = false;
+  w.services[0]->acquire("lock-a", [&](const std::string&) { a = true; });
+  w.services[1]->acquire("lock-b", [&](const std::string&) { b = true; });
+  ASSERT_TRUE(test::run_until(w.world.engine(), sec(10), [&] { return a && b; }));
+  EXPECT_TRUE(w.services[0]->holds("lock-a"));
+  EXPECT_TRUE(w.services[1]->holds("lock-b"));
+  EXPECT_FALSE(w.services[0]->holds("lock-b"));
+}
+
+}  // namespace
+}  // namespace gcs::replication

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "core/stack.hpp"
+#include "tests/test_util.hpp"
+
+namespace gcs {
+namespace {
+
+using test::bytes_of;
+
+World::Config config_with(StackConfig stack, int n = 3, std::uint64_t seed = 1) {
+  World::Config cfg;
+  cfg.n = n;
+  cfg.seed = seed;
+  cfg.stack = std::move(stack);
+  return cfg;
+}
+
+TEST(Monitoring, CrashedProcessExcludedAfterLongTimeout) {
+  StackConfig sc;
+  sc.monitoring.exclusion_timeout = msec(500);
+  World w(config_with(sc));
+  w.found_group_all();
+  w.run_for(msec(100));
+  const TimePoint crash_at = w.engine().now();
+  w.crash(2);
+  ASSERT_TRUE(test::run_until(w.engine(), sec(10),
+                              [&] { return !w.stack(0).view().contains(2); }));
+  // Exclusion took at least the long timeout (not the short consensus one).
+  EXPECT_GE(w.engine().now() - crash_at, msec(500));
+}
+
+TEST(Monitoring, ShortSuspicionsDoNotExclude) {
+  // Consensus-class (short) suspicions never remove anyone: inject one and
+  // verify the membership is untouched — the decoupling of §3.1.3.
+  StackConfig sc;
+  sc.consensus_suspect_timeout = msec(30);
+  sc.monitoring.exclusion_timeout = sec(30);
+  World w(config_with(sc));
+  w.found_group_all();
+  w.run_for(msec(100));
+  auto& fd = w.stack(0).fd();
+  fd.inject_suspicion(w.stack(0).consensus_fd_class(), 1);
+  w.run_for(sec(2));
+  EXPECT_TRUE(w.stack(0).view().contains(1));
+  EXPECT_EQ(w.stack(0).view().members.size(), 3u);
+}
+
+TEST(Monitoring, ThresholdPolicyNeedsMultipleSuspecters) {
+  StackConfig sc;
+  sc.monitoring.exclusion_timeout = sec(60);  // natural suspicion disabled
+  sc.monitoring.suspicion_threshold = 2;
+  World w(config_with(sc, 4));
+  w.found_group_all();
+  w.run_for(msec(100));
+  // Crash 3 so injected suspicions are not revoked by heartbeats; the
+  // natural (60 s) timeout stays out of the picture. Let its in-flight
+  // heartbeats drain first, or one would revoke the injected suspicion.
+  w.crash(3);
+  w.run_for(msec(50));
+  // One suspicion is not enough.
+  w.stack(0).fd().inject_suspicion(w.stack(0).monitoring().fd_class(), 3);
+  w.run_for(sec(1));
+  EXPECT_TRUE(w.stack(0).view().contains(3));
+  // A second voter crosses the threshold.
+  w.stack(1).fd().inject_suspicion(w.stack(1).monitoring().fd_class(), 3);
+  ASSERT_TRUE(test::run_until(w.engine(), sec(10),
+                              [&] { return !w.stack(0).view().contains(3); }));
+}
+
+TEST(Monitoring, ThresholdPolicyExcludesRealCrash) {
+  StackConfig sc;
+  sc.monitoring.exclusion_timeout = msec(400);
+  sc.monitoring.suspicion_threshold = 3;
+  World w(config_with(sc, 4));
+  w.found_group_all();
+  w.run_for(msec(100));
+  w.crash(3);
+  // All three survivors eventually suspect; threshold 3 is reached.
+  ASSERT_TRUE(test::run_until(w.engine(), sec(10),
+                              [&] { return !w.stack(0).view().contains(3); }));
+  EXPECT_EQ(w.stack(0).view().members, (std::vector<ProcessId>{0, 1, 2}));
+}
+
+TEST(Monitoring, FalseSuspicionRestoredBeforeThresholdIsHarmless) {
+  StackConfig sc;
+  sc.monitoring.exclusion_timeout = sec(60);
+  sc.monitoring.suspicion_threshold = 2;
+  World w(config_with(sc, 4));
+  w.found_group_all();
+  w.run_for(msec(100));
+  w.stack(0).fd().inject_suspicion(w.stack(0).monitoring().fd_class(), 3);
+  // Heartbeats restore the suspicion and retract the gossip vote.
+  w.run_for(sec(1));
+  w.stack(1).fd().inject_suspicion(w.stack(1).monitoring().fd_class(), 3);
+  w.run_for(sec(1));
+  // Votes never overlapped: no exclusion.
+  EXPECT_TRUE(w.stack(0).view().contains(3));
+}
+
+TEST(Monitoring, OutputTriggeredSuspicionExcludesSilentReceiver) {
+  StackConfig sc;
+  sc.monitoring.exclusion_timeout = sec(60);  // FD path disabled in practice
+  sc.monitoring.output_age_limit = msec(300);
+  sc.monitoring.output_check_interval = msec(50);
+  World w(config_with(sc));
+  w.found_group_all();
+  w.run_for(msec(100));
+  // Crash 2, then have 0 send it a channel message that can never be acked.
+  w.crash(2);
+  w.stack(0).channel().send(2, Tag::kApp, bytes_of("stuck"));
+  ASSERT_TRUE(test::run_until(w.engine(), sec(10),
+                              [&] { return !w.stack(0).view().contains(2); }));
+  // Exclusion released the buffer (membership calls channel.forget).
+  EXPECT_EQ(w.stack(0).channel().unacked_count(2), 0u);
+}
+
+TEST(Monitoring, ExclusionRequestsAreIdempotent) {
+  StackConfig sc;
+  sc.monitoring.exclusion_timeout = msec(300);
+  World w(config_with(sc, 4));
+  w.found_group_all();
+  w.run_for(msec(100));
+  w.crash(3);
+  ASSERT_TRUE(test::run_until(w.engine(), sec(10),
+                              [&] { return !w.stack(0).view().contains(3); }));
+  const auto views = w.stack(0).membership().views_installed();
+  w.run_for(sec(2));
+  // All three survivors wanted 3 out, but only one view change happened,
+  // and no further changes occur afterwards.
+  EXPECT_EQ(w.stack(0).membership().views_installed(), views);
+  EXPECT_EQ(w.stack(0).view().members.size(), 3u);
+}
+
+}  // namespace
+}  // namespace gcs

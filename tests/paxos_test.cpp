@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "consensus/paxos.hpp"
+#include "core/stack.hpp"
+#include "tests/test_util.hpp"
+
+namespace gcs {
+namespace {
+
+using test::bytes_of;
+using test::consistent_prefix;
+using test::str_of;
+
+struct PaxosWorld {
+  sim::Engine engine;
+  sim::Network network;
+  struct Proc {
+    std::unique_ptr<sim::Context> ctx;
+    std::unique_ptr<SimTransport> transport;
+    std::unique_ptr<ReliableChannel> channel;
+    std::unique_ptr<FailureDetector> fd;
+    FailureDetector::ClassId fd_class = 0;
+    std::unique_ptr<PaxosConsensus> paxos;
+    std::map<std::uint64_t, std::string> decisions;
+  };
+  std::vector<Proc> procs;
+  std::vector<ProcessId> all;
+
+  explicit PaxosWorld(int n, sim::LinkModel link = {}, Duration suspect_timeout = msec(60),
+                      std::uint64_t seed = 1)
+      : network(engine, n, link, seed) {
+    procs.resize(static_cast<std::size_t>(n));
+    for (ProcessId p = 0; p < n; ++p) {
+      all.push_back(p);
+      auto& proc = procs[static_cast<std::size_t>(p)];
+      proc.ctx = std::make_unique<sim::Context>(
+          p, engine, Rng(seed * 91 + static_cast<std::uint64_t>(p)), Logger(),
+          std::make_shared<Metrics>());
+      proc.transport = std::make_unique<SimTransport>(*proc.ctx, network);
+      proc.channel = std::make_unique<ReliableChannel>(*proc.ctx, *proc.transport);
+      proc.fd = std::make_unique<FailureDetector>(*proc.ctx, *proc.transport);
+      proc.fd_class = proc.fd->add_class(suspect_timeout);
+      proc.paxos = std::make_unique<PaxosConsensus>(*proc.ctx, *proc.channel, *proc.fd,
+                                                    proc.fd_class);
+      proc.paxos->on_decide([&proc](std::uint64_t k, const Bytes& v) {
+        ASSERT_EQ(proc.decisions.count(k), 0u) << "double decide";
+        proc.decisions[k] = str_of(v);
+      });
+      proc.fd->start();
+    }
+  }
+
+  void crash(ProcessId p) {
+    procs[static_cast<std::size_t>(p)].ctx->kill();
+    network.crash(p);
+  }
+
+  bool all_alive_decided(std::uint64_t k) {
+    for (ProcessId p = 0; p < static_cast<ProcessId>(procs.size()); ++p) {
+      if (!network.alive(p)) continue;
+      if (!procs[static_cast<std::size_t>(p)].decisions.count(k)) return false;
+    }
+    return true;
+  }
+
+  std::string agreed_value(std::uint64_t k) {
+    std::string value;
+    for (auto& proc : procs) {
+      auto it = proc.decisions.find(k);
+      if (it == proc.decisions.end()) continue;
+      if (value.empty()) value = it->second;
+      else EXPECT_EQ(value, it->second) << "paxos agreement violated at " << k;
+    }
+    return value;
+  }
+};
+
+TEST(Paxos, FailureFreeDecides) {
+  PaxosWorld w(3);
+  for (ProcessId p = 0; p < 3; ++p) {
+    w.procs[static_cast<std::size_t>(p)].paxos->propose(
+        0, bytes_of("v" + std::to_string(p)), w.all);
+  }
+  ASSERT_TRUE(test::run_until(w.engine, sec(5), [&] { return w.all_alive_decided(0); }));
+  const std::string v = w.agreed_value(0);
+  EXPECT_TRUE(v == "v0" || v == "v1" || v == "v2") << v;
+}
+
+TEST(Paxos, SingleProposerDecides) {
+  PaxosWorld w(3);
+  w.procs[1].paxos->propose(0, bytes_of("lone"), w.all);
+  ASSERT_TRUE(test::run_until(w.engine, sec(5), [&] { return w.all_alive_decided(0); }));
+  EXPECT_EQ(w.agreed_value(0), "lone");
+}
+
+TEST(Paxos, BallotZeroOwnerCrashTriggersTakeover) {
+  PaxosWorld w(5);
+  for (ProcessId p = 0; p < 5; ++p) {
+    w.procs[static_cast<std::size_t>(p)].paxos->propose(
+        0, bytes_of("v" + std::to_string(p)), w.all);
+  }
+  w.engine.run_until(usec(200));
+  w.crash(0);  // ballot-0 owner
+  ASSERT_TRUE(test::run_until(w.engine, sec(10), [&] { return w.all_alive_decided(0); }));
+  w.agreed_value(0);
+}
+
+TEST(Paxos, SafeUnderFalseSuspicionOfLeader) {
+  PaxosWorld w(3);
+  for (ProcessId p = 0; p < 3; ++p) {
+    w.procs[static_cast<std::size_t>(p)].paxos->propose(
+        0, bytes_of("v" + std::to_string(p)), w.all);
+  }
+  // Two processes wrongly suspect the ballot-0 owner: dueling ballots must
+  // still agree on ONE value.
+  w.procs[1].fd->monitor(w.procs[1].fd_class, 0);
+  w.procs[1].fd->inject_suspicion(w.procs[1].fd_class, 0);
+  w.procs[2].fd->monitor(w.procs[2].fd_class, 0);
+  w.procs[2].fd->inject_suspicion(w.procs[2].fd_class, 0);
+  ASSERT_TRUE(test::run_until(w.engine, sec(10), [&] { return w.all_alive_decided(0); }));
+  w.agreed_value(0);
+}
+
+TEST(Paxos, ManyInstances) {
+  PaxosWorld w(3);
+  const int kInstances = 15;
+  for (std::uint64_t k = 0; k < kInstances; ++k) {
+    for (ProcessId p = 0; p < 3; ++p) {
+      w.procs[static_cast<std::size_t>(p)].paxos->propose(
+          k, bytes_of("k" + std::to_string(k)), w.all);
+    }
+  }
+  ASSERT_TRUE(test::run_until(w.engine, sec(30), [&] {
+    for (std::uint64_t k = 0; k < kInstances; ++k) {
+      if (!w.all_alive_decided(k)) return false;
+    }
+    return true;
+  }));
+  for (std::uint64_t k = 0; k < kInstances; ++k) {
+    EXPECT_EQ(w.agreed_value(k), "k" + std::to_string(k));
+  }
+}
+
+TEST(Paxos, LossyNetworkTerminates) {
+  PaxosWorld w(5, sim::LinkModel{usec(300), usec(300), 0.2}, msec(60), 43);
+  for (ProcessId p = 0; p < 5; ++p) {
+    w.procs[static_cast<std::size_t>(p)].paxos->propose(
+        0, bytes_of("v" + std::to_string(p)), w.all);
+  }
+  ASSERT_TRUE(test::run_until(w.engine, sec(30), [&] { return w.all_alive_decided(0); }));
+  w.agreed_value(0);
+}
+
+class PaxosProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PaxosProperty, AgreementValidityTermination) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  const int n = 3 + static_cast<int>(rng.next_below(4));  // 3..6
+  const int crashes =
+      static_cast<int>(rng.next_below(static_cast<std::uint64_t>((n - 1) / 2 + 1)));
+  sim::LinkModel link{usec(100 + rng.next_range(0, 400)), usec(rng.next_range(0, 400)),
+                      rng.next_double() * 0.15};
+  PaxosWorld w(n, link, msec(60), seed);
+  for (ProcessId p = 0; p < n; ++p) {
+    w.procs[static_cast<std::size_t>(p)].paxos->propose(
+        0, bytes_of("v" + std::to_string(p)), w.all);
+  }
+  std::set<ProcessId> crashed;
+  for (int i = 0; i < crashes; ++i) {
+    ProcessId victim;
+    do {
+      victim = static_cast<ProcessId>(rng.next_below(static_cast<std::uint64_t>(n)));
+    } while (crashed.count(victim));
+    crashed.insert(victim);
+    w.engine.schedule_at(rng.next_range(0, msec(2)), [&w, victim] { w.crash(victim); });
+  }
+  ASSERT_TRUE(test::run_until(w.engine, sec(60), [&] { return w.all_alive_decided(0); }))
+      << "n=" << n << " crashes=" << crashes << " seed=" << seed;
+  const std::string v = w.agreed_value(0);
+  ASSERT_FALSE(v.empty());
+  EXPECT_EQ(v[0], 'v');
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PaxosProperty, ::testing::Range<std::uint64_t>(1, 21));
+
+/// The whole architecture on top of Paxos instead of Chandra–Toueg.
+TEST(PaxosStack, FullStackTotalOrderAndMembership) {
+  World::Config cfg;
+  cfg.n = 4;
+  cfg.seed = 17;
+  cfg.stack.consensus_algorithm = StackConfig::ConsensusAlgo::kPaxos;
+  cfg.stack.monitoring.exclusion_timeout = msec(700);
+  World w(cfg);
+  std::vector<test::DeliveryLog> logs(4);
+  for (ProcessId p = 0; p < 4; ++p) {
+    w.stack(p).on_adeliver([&logs, p](const MsgId& id, const Bytes& b) {
+      logs[static_cast<std::size_t>(p)].record(id, b);
+    });
+  }
+  w.found_group({0, 1, 2});
+  for (int i = 0; i < 10; ++i) {
+    w.stack(static_cast<ProcessId>(i % 3)).abcast(bytes_of(std::to_string(i)));
+  }
+  ASSERT_TRUE(test::run_until(w.engine(), sec(30), [&] {
+    return logs[0].size() >= 10 && logs[1].size() >= 10 && logs[2].size() >= 10;
+  }));
+  // Membership on Paxos: join works identically.
+  w.stack(3).join(0);
+  ASSERT_TRUE(test::run_until(w.engine(), sec(10),
+                              [&] { return w.stack(3).membership().is_member(); }));
+  // Crash + exclusion on Paxos.
+  w.crash(2);
+  ASSERT_TRUE(test::run_until(w.engine(), sec(10),
+                              [&] { return !w.stack(0).view().contains(2); }));
+  w.stack(3).abcast(bytes_of("post"));
+  ASSERT_TRUE(test::run_until(w.engine(), sec(10), [&] { return logs[0].size() >= 11; }));
+  EXPECT_TRUE(consistent_prefix(logs[0].order, logs[1].order));
+  EXPECT_GT(w.stack(0).metrics().counter("paxos.decided"), 0);
+}
+
+TEST(PaxosStack, GenericBroadcastFastPathUnaffectedByAlgorithm) {
+  World::Config cfg;
+  cfg.n = 4;
+  cfg.seed = 23;
+  cfg.stack.consensus_algorithm = StackConfig::ConsensusAlgo::kPaxos;
+  World w(cfg);
+  std::size_t delivered = 0;
+  w.stack(0).on_gdeliver([&](const MsgId&, MsgClass, const Bytes&) { ++delivered; });
+  w.found_group_all();
+  for (int i = 0; i < 8; ++i) {
+    w.stack(static_cast<ProcessId>(i % 4)).rbcast(bytes_of(std::to_string(i)));
+  }
+  ASSERT_TRUE(test::run_until(w.engine(), sec(10), [&] { return delivered >= 8; }));
+  // Thrifty regardless of the consensus below: nothing decided.
+  EXPECT_EQ(w.stack(0).consensus().instances_decided(), 0);
+}
+
+}  // namespace
+}  // namespace gcs

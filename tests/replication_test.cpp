@@ -1,0 +1,383 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "replication/active.hpp"
+#include "replication/passive.hpp"
+#include "replication/state_machine.hpp"
+#include "tests/test_util.hpp"
+
+namespace gcs::replication {
+namespace {
+
+using test::bytes_of;
+
+TEST(StateMachine, BankAccountSemantics) {
+  BankAccount bank;
+  auto r1 = BankAccount::decode_result(bank.apply(BankAccount::make_deposit(100)));
+  EXPECT_TRUE(r1.first);
+  EXPECT_EQ(r1.second, 100);
+  auto r2 = BankAccount::decode_result(bank.apply(BankAccount::make_withdraw(40)));
+  EXPECT_TRUE(r2.first);
+  EXPECT_EQ(r2.second, 60);
+  auto r3 = BankAccount::decode_result(bank.apply(BankAccount::make_withdraw(100)));
+  EXPECT_FALSE(r3.first);  // insufficient funds
+  EXPECT_EQ(bank.balance(), 60);
+}
+
+TEST(StateMachine, BankAccountSnapshotRoundTrip) {
+  BankAccount a;
+  a.apply(BankAccount::make_deposit(42));
+  BankAccount b;
+  b.restore(a.snapshot());
+  EXPECT_EQ(b.balance(), 42);
+}
+
+TEST(StateMachine, DepositsCommute) {
+  // The §4.2 premise: deposits in any order give the same state.
+  BankAccount a, b;
+  a.apply(BankAccount::make_deposit(10));
+  a.apply(BankAccount::make_deposit(20));
+  b.apply(BankAccount::make_deposit(20));
+  b.apply(BankAccount::make_deposit(10));
+  EXPECT_EQ(a.balance(), b.balance());
+}
+
+TEST(StateMachine, WithdrawalsDoNotCommute) {
+  // ...while withdrawals near the balance boundary do not.
+  BankAccount a, b;
+  a.apply(BankAccount::make_deposit(50));
+  b.apply(BankAccount::make_deposit(50));
+  const auto a1 = BankAccount::decode_result(a.apply(BankAccount::make_withdraw(40)));
+  const auto a2 = BankAccount::decode_result(a.apply(BankAccount::make_withdraw(30)));
+  const auto b1 = BankAccount::decode_result(b.apply(BankAccount::make_withdraw(30)));
+  const auto b2 = BankAccount::decode_result(b.apply(BankAccount::make_withdraw(40)));
+  EXPECT_TRUE(a1.first);
+  EXPECT_FALSE(a2.first);
+  EXPECT_TRUE(b1.first);
+  EXPECT_FALSE(b2.first);
+  // Different orders succeed for different requests: ordering matters.
+  EXPECT_NE(a1.second, b1.second);
+}
+
+TEST(StateMachine, KvStore) {
+  KvStore kv;
+  kv.apply(KvStore::make_put("k", "v1"));
+  auto got = KvStore::decode_result(kv.apply(KvStore::make_get("k")));
+  EXPECT_TRUE(got.first);
+  EXPECT_EQ(got.second, "v1");
+  auto missing = KvStore::decode_result(kv.apply(KvStore::make_get("nope")));
+  EXPECT_FALSE(missing.first);
+  kv.apply(KvStore::make_del("k"));
+  EXPECT_EQ(kv.size(), 0u);
+  // Snapshot round trip.
+  kv.apply(KvStore::make_put("a", "1"));
+  kv.apply(KvStore::make_put("b", "2"));
+  KvStore kv2;
+  kv2.restore(kv.snapshot());
+  EXPECT_EQ(kv2.data(), kv.data());
+}
+
+struct ActiveWorld {
+  World world;
+  std::vector<std::unique_ptr<ActiveReplication>> replicas;
+
+  explicit ActiveWorld(int n, std::uint64_t seed = 1) : world(make(n, seed)) {
+    for (ProcessId p = 0; p < n; ++p) {
+      replicas.push_back(std::make_unique<ActiveReplication>(
+          world.stack(p), std::make_unique<BankAccount>()));
+    }
+    world.found_group_all();
+  }
+  static World::Config make(int n, std::uint64_t seed) {
+    World::Config c;
+    c.n = n;
+    c.seed = seed;
+    return c;
+  }
+  BankAccount& bank(ProcessId p) {
+    return static_cast<BankAccount&>(replicas[static_cast<std::size_t>(p)]->state());
+  }
+};
+
+TEST(ActiveReplication, AllReplicasConverge) {
+  ActiveWorld w(3);
+  std::int64_t last_result = -1;
+  w.replicas[0]->submit(BankAccount::make_deposit(100));
+  w.replicas[1]->submit(BankAccount::make_deposit(50));
+  w.replicas[2]->submit(BankAccount::make_withdraw(30), [&](const Bytes& r) {
+    last_result = BankAccount::decode_result(r).second;
+  });
+  ASSERT_TRUE(test::run_until(w.world, sec(10), [&] {
+    return w.replicas[0]->applied() >= 3 && w.replicas[1]->applied() >= 3 &&
+           w.replicas[2]->applied() >= 3;
+  }));
+  EXPECT_EQ(w.bank(0).balance(), 120);
+  EXPECT_EQ(w.bank(1).balance(), 120);
+  EXPECT_EQ(w.bank(2).balance(), 120);
+  EXPECT_EQ(last_result, 120);
+}
+
+TEST(ActiveReplication, ConcurrentWithdrawalsAreConsistent) {
+  ActiveWorld w(3, 7);
+  w.replicas[0]->submit(BankAccount::make_deposit(100));
+  ASSERT_TRUE(test::run_until(w.world, sec(5),
+                              [&] { return w.replicas[0]->applied() >= 1; }));
+  // Two racing withdrawals of 70: exactly one can succeed.
+  int succeeded = 0, failed = 0;
+  auto cb = [&](const Bytes& r) {
+    if (BankAccount::decode_result(r).first) ++succeeded;
+    else ++failed;
+  };
+  w.replicas[1]->submit(BankAccount::make_withdraw(70), cb);
+  w.replicas[2]->submit(BankAccount::make_withdraw(70), cb);
+  ASSERT_TRUE(test::run_until(w.world, sec(10), [&] { return succeeded + failed == 2; }));
+  EXPECT_EQ(succeeded, 1);
+  EXPECT_EQ(failed, 1);
+  ASSERT_TRUE(test::run_until(w.world, sec(10), [&] {
+    return w.replicas[0]->applied() >= 3 && w.replicas[1]->applied() >= 3 &&
+           w.replicas[2]->applied() >= 3;
+  }));
+  EXPECT_EQ(w.bank(0).balance(), 30);
+  EXPECT_EQ(w.bank(1).balance(), 30);
+  EXPECT_EQ(w.bank(2).balance(), 30);
+}
+
+TEST(ActiveReplication, JoinerInheritsStateBySnapshot) {
+  World::Config c;
+  c.n = 4;
+  World w(c);
+  std::vector<std::unique_ptr<ActiveReplication>> reps;
+  for (ProcessId p = 0; p < 4; ++p) {
+    reps.push_back(std::make_unique<ActiveReplication>(w.stack(p),
+                                                       std::make_unique<BankAccount>()));
+  }
+  w.found_group({0, 1, 2});
+  reps[0]->submit(BankAccount::make_deposit(500));
+  ASSERT_TRUE(test::run_until(w.engine(), sec(5), [&] { return reps[0]->applied() >= 1; }));
+  w.stack(3).join(0);
+  ASSERT_TRUE(test::run_until(w.engine(), sec(10),
+                              [&] { return w.stack(3).membership().is_member(); }));
+  // The joiner's bank already holds the 500 via the snapshot.
+  EXPECT_EQ(static_cast<BankAccount&>(reps[3]->state()).balance(), 500);
+  // And it applies subsequent commands.
+  reps[3]->submit(BankAccount::make_deposit(1));
+  ASSERT_TRUE(test::run_until(w.engine(), sec(10), [&] {
+    return static_cast<BankAccount&>(reps[0]->state()).balance() == 501 &&
+           static_cast<BankAccount&>(reps[3]->state()).balance() == 501;
+  }));
+}
+
+struct GenWorld {
+  World world;
+  std::vector<std::unique_ptr<GenericActiveReplication>> replicas;
+
+  explicit GenWorld(int n, std::uint64_t seed = 1) : world(make(n, seed)) {
+    for (ProcessId p = 0; p < n; ++p) {
+      replicas.push_back(std::make_unique<GenericActiveReplication>(
+          world.stack(p), std::make_unique<BankAccount>()));
+    }
+    world.found_group_all();
+  }
+  static World::Config make(int n, std::uint64_t seed) {
+    World::Config c;
+    c.n = n;
+    c.seed = seed;
+    c.stack.conflict = ConflictRelation::rbcast_abcast();
+    return c;
+  }
+  BankAccount& bank(ProcessId p) {
+    return static_cast<BankAccount&>(replicas[static_cast<std::size_t>(p)]->state());
+  }
+};
+
+TEST(GenericActiveReplication, DepositsSkipConsensus) {
+  GenWorld w(4);
+  for (int i = 0; i < 10; ++i) {
+    w.replicas[static_cast<std::size_t>(i % 4)]->submit(
+        kRbcastClass, BankAccount::make_deposit(10));
+  }
+  ASSERT_TRUE(test::run_until(w.world, sec(10), [&] {
+    for (auto& r : w.replicas) {
+      if (r->applied() < 10) return false;
+    }
+    return true;
+  }));
+  for (ProcessId p = 0; p < 4; ++p) {
+    EXPECT_EQ(w.bank(p).balance(), 100);
+    EXPECT_EQ(w.world.stack(p).consensus().instances_decided(), 0) << "thrifty violated";
+  }
+}
+
+TEST(GenericActiveReplication, MixedDepositsAndWithdrawalsConverge) {
+  GenWorld w(4, 11);
+  w.replicas[0]->submit(kRbcastClass, BankAccount::make_deposit(100));
+  ASSERT_TRUE(test::run_until(w.world, sec(5),
+                              [&] { return w.replicas[0]->applied() >= 1; }));
+  for (int i = 0; i < 6; ++i) {
+    if (i % 3 == 0) {
+      w.replicas[static_cast<std::size_t>(i % 4)]->submit(kAbcastClass,
+                                                          BankAccount::make_withdraw(20));
+    } else {
+      w.replicas[static_cast<std::size_t>(i % 4)]->submit(kRbcastClass,
+                                                          BankAccount::make_deposit(5));
+    }
+  }
+  ASSERT_TRUE(test::run_until(w.world, sec(30), [&] {
+    for (auto& r : w.replicas) {
+      if (r->applied() < 7) return false;
+    }
+    return true;
+  }));
+  // Deposits: 100 + 4*5 = 120; withdrawals: 2*20 = 40 (balance never goes
+  // negative here, so both succeed) => 80 everywhere.
+  for (ProcessId p = 0; p < 4; ++p) EXPECT_EQ(w.bank(p).balance(), 80);
+}
+
+struct PassiveWorld {
+  World world;
+  std::vector<std::unique_ptr<PassiveReplication>> replicas;
+
+  PassiveWorld(int n, PassiveReplication::Config cfg, std::uint64_t seed = 1)
+      : world(make(n, seed)) {
+    world.found_group_all();
+    for (ProcessId p = 0; p < n; ++p) {
+      replicas.push_back(std::make_unique<PassiveReplication>(
+          world.stack(p), std::make_unique<BankAccount>(), cfg));
+    }
+  }
+  static World::Config make(int n, std::uint64_t seed) {
+    World::Config c;
+    c.n = n;
+    c.seed = seed;
+    c.stack.conflict = ConflictRelation::update_primary_change();
+    return c;
+  }
+  BankAccount& bank(ProcessId p) {
+    return static_cast<BankAccount&>(replicas[static_cast<std::size_t>(p)]->state());
+  }
+};
+
+TEST(PassiveReplication, PrimaryHandlesAndBackupsFollow) {
+  PassiveReplication::Config cfg;
+  cfg.auto_primary_change = false;
+  PassiveWorld w(4, cfg);
+  EXPECT_TRUE(w.replicas[0]->is_primary());
+  bool committed = false;
+  std::int64_t balance = 0;
+  w.replicas[0]->handle_request(BankAccount::make_deposit(100),
+                                [&](bool ok, const Bytes& r) {
+                                  committed = ok;
+                                  balance = BankAccount::decode_result(r).second;
+                                });
+  ASSERT_TRUE(test::run_until(w.world, sec(10), [&] {
+    for (auto& r : w.replicas) {
+      if (r->updates_applied() < 1) return false;
+    }
+    return true;
+  }));
+  EXPECT_TRUE(committed);
+  EXPECT_EQ(balance, 100);
+  for (ProcessId p = 0; p < 4; ++p) EXPECT_EQ(w.bank(p).balance(), 100);
+}
+
+TEST(PassiveReplication, NonPrimaryRejectsRequests) {
+  PassiveReplication::Config cfg;
+  cfg.auto_primary_change = false;
+  PassiveWorld w(4, cfg);
+  bool called = false, ok = true;
+  w.replicas[1]->handle_request(BankAccount::make_deposit(1), [&](bool o, const Bytes&) {
+    called = true;
+    ok = o;
+  });
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(ok);
+}
+
+TEST(PassiveReplication, ManualPrimaryChangeRotates) {
+  PassiveReplication::Config cfg;
+  cfg.auto_primary_change = false;
+  PassiveWorld w(4, cfg);
+  w.replicas[1]->request_primary_change();
+  ASSERT_TRUE(test::run_until(w.world, sec(10), [&] {
+    for (auto& r : w.replicas) {
+      if (r->primary() != 1) return false;
+    }
+    return true;
+  }));
+  for (auto& r : w.replicas) {
+    EXPECT_EQ(r->epoch(), 1u);
+    EXPECT_EQ(r->replica_order(), (std::vector<ProcessId>{1, 2, 3, 0}));
+  }
+  // The old primary is NOT excluded (footnote 10).
+  EXPECT_EQ(w.world.stack(1).view().members.size(), 4u);
+}
+
+TEST(PassiveReplication, CrashedPrimaryFailsOverAutomatically) {
+  PassiveReplication::Config cfg;
+  cfg.primary_suspect_timeout = msec(100);
+  PassiveWorld w(4, cfg);
+  bool committed = false;
+  w.replicas[0]->handle_request(BankAccount::make_deposit(10),
+                                [&](bool ok, const Bytes&) { committed = ok; });
+  ASSERT_TRUE(test::run_until(w.world, sec(5), [&] { return committed; }));
+  w.world.crash(0);
+  // Backups suspect the primary and rotate to 1 — without any exclusion.
+  ASSERT_TRUE(test::run_until(w.world, sec(10), [&] {
+    return w.replicas[1]->is_primary() && w.replicas[2]->primary() == 1 &&
+           w.replicas[3]->primary() == 1;
+  }));
+  // Service continues at the new primary.
+  bool committed2 = false;
+  std::int64_t balance = 0;
+  w.replicas[1]->handle_request(BankAccount::make_deposit(5),
+                                [&](bool ok, const Bytes& r) {
+                                  committed2 = ok;
+                                  balance = BankAccount::decode_result(r).second;
+                                });
+  ASSERT_TRUE(test::run_until(w.world, sec(10), [&] { return committed2; }));
+  EXPECT_EQ(balance, 15);
+}
+
+/// Fig 8 reproduction: race an update against a primary-change and verify
+/// only the two legal outcomes occur, consistently at every replica.
+class Fig8Property : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Fig8Property, OnlyTwoOutcomes) {
+  const std::uint64_t seed = GetParam();
+  PassiveReplication::Config cfg;
+  cfg.auto_primary_change = false;
+  PassiveWorld w(4, cfg, seed);
+  // t ~ same instant: s1 broadcasts update(100); s2 broadcasts
+  // primary-change(s1).
+  bool update_committed = false, update_failed = false;
+  w.replicas[0]->handle_request(BankAccount::make_deposit(100),
+                                [&](bool ok, const Bytes&) {
+                                  update_committed = ok;
+                                  update_failed = !ok;
+                                });
+  w.replicas[1]->request_primary_change();
+  ASSERT_TRUE(test::run_until(w.world, sec(20), [&] {
+    if (!(update_committed || update_failed)) return false;
+    for (auto& r : w.replicas) {
+      if (r->primary_changes() < 1) return false;
+    }
+    return true;
+  })) << "seed=" << seed;
+  // All replicas agree on the outcome.
+  const std::int64_t expect = update_committed ? 100 : 0;
+  for (ProcessId p = 0; p < 4; ++p) {
+    EXPECT_EQ(w.bank(p).balance(), expect) << "p" << p << " seed=" << seed;
+    EXPECT_EQ(w.replicas[static_cast<std::size_t>(p)]->primary(), 1);
+  }
+  // Outcome 1: update delivered before the change => applied and committed.
+  // Outcome 2: change first => update ignored everywhere.
+  if (update_failed) {
+    EXPECT_GE(w.replicas[0]->updates_ignored(), 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Fig8Property, ::testing::Range<std::uint64_t>(1, 31));
+
+}  // namespace
+}  // namespace gcs::replication

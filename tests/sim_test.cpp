@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include "sim/context.hpp"
+#include "sim/engine.hpp"
+#include "sim/network.hpp"
+
+namespace gcs::sim {
+namespace {
+
+TEST(Engine, EventsFireInTimeOrder) {
+  Engine eng;
+  std::vector<int> fired;
+  eng.schedule_at(30, [&] { fired.push_back(3); });
+  eng.schedule_at(10, [&] { fired.push_back(1); });
+  eng.schedule_at(20, [&] { fired.push_back(2); });
+  eng.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), 30);
+}
+
+TEST(Engine, EqualTimesFireInScheduleOrder) {
+  Engine eng;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    eng.schedule_at(5, [&fired, i] { fired.push_back(i); });
+  }
+  eng.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, Cancel) {
+  Engine eng;
+  bool fired = false;
+  const TimerId id = eng.schedule_at(10, [&] { fired = true; });
+  eng.cancel(id);
+  eng.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(eng.pending(), 0u);
+}
+
+TEST(Engine, CancelUnknownIsNoop) {
+  Engine eng;
+  eng.cancel(12345);
+  eng.cancel(kNoTimer);
+  EXPECT_EQ(eng.pending(), 0u);
+}
+
+TEST(Engine, HandlerCanScheduleMore) {
+  Engine eng;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 5) eng.schedule_after(10, tick);
+  };
+  eng.schedule_after(10, tick);
+  eng.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(eng.now(), 50);
+}
+
+TEST(Engine, HandlerCanCancelPending) {
+  Engine eng;
+  bool second_fired = false;
+  TimerId second = kNoTimer;
+  eng.schedule_at(10, [&] { eng.cancel(second); });
+  second = eng.schedule_at(20, [&] { second_fired = true; });
+  eng.run();
+  EXPECT_FALSE(second_fired);
+}
+
+TEST(Engine, RunUntilAdvancesClockWithoutEvents) {
+  Engine eng;
+  eng.run_until(1000);
+  EXPECT_EQ(eng.now(), 1000);
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine eng;
+  std::vector<TimePoint> fired;
+  eng.schedule_at(10, [&] { fired.push_back(eng.now()); });
+  eng.schedule_at(99, [&] { fired.push_back(eng.now()); });
+  eng.schedule_at(101, [&] { fired.push_back(eng.now()); });
+  eng.run_until(100);
+  EXPECT_EQ(fired.size(), 2u);
+  EXPECT_EQ(eng.now(), 100);
+  eng.run();
+  EXPECT_EQ(fired.size(), 3u);
+}
+
+TEST(Engine, PastTimeClampsToNow) {
+  Engine eng;
+  eng.run_until(50);
+  TimePoint fired_at = -1;
+  eng.schedule_at(10, [&] { fired_at = eng.now(); });
+  eng.run();
+  EXPECT_EQ(fired_at, 50);
+}
+
+TEST(Engine, MaxEventsBound) {
+  Engine eng;
+  int count = 0;
+  std::function<void()> forever = [&] {
+    ++count;
+    eng.schedule_after(1, forever);
+  };
+  eng.schedule_after(1, forever);
+  eng.run(100);
+  EXPECT_EQ(count, 100);
+}
+
+TEST(Network, DeliversWithDelay) {
+  Engine eng;
+  Network net(eng, 2, LinkModel{usec(500), 0, 0.0}, 1);
+  TimePoint arrival = -1;
+  net.set_handler(1, [&](ProcessId from, const Bytes& b) {
+    EXPECT_EQ(from, 0);
+    EXPECT_EQ(b.size(), 3u);
+    arrival = eng.now();
+  });
+  net.send(0, 1, Bytes{1, 2, 3});
+  eng.run();
+  EXPECT_EQ(arrival, 500);
+}
+
+TEST(Network, JitterStaysInBounds) {
+  Engine eng;
+  Network net(eng, 2, LinkModel{usec(100), usec(50), 0.0}, 7);
+  std::vector<TimePoint> arrivals;
+  net.set_handler(1, [&](ProcessId, const Bytes&) { arrivals.push_back(eng.now()); });
+  for (int i = 0; i < 200; ++i) net.send(0, 1, Bytes{0});
+  eng.run();
+  ASSERT_EQ(arrivals.size(), 200u);
+  for (auto t : arrivals) {
+    EXPECT_GE(t, 100);
+    EXPECT_LE(t, 150);
+  }
+}
+
+TEST(Network, DropsAreProbabilistic) {
+  Engine eng;
+  Network net(eng, 2, LinkModel{usec(100), 0, 0.5}, 3);
+  int received = 0;
+  net.set_handler(1, [&](ProcessId, const Bytes&) { ++received; });
+  for (int i = 0; i < 1000; ++i) net.send(0, 1, Bytes{0});
+  eng.run();
+  EXPECT_GT(received, 350);
+  EXPECT_LT(received, 650);
+  EXPECT_EQ(net.metrics().counter("net.dropped"), 1000 - received);
+}
+
+TEST(Network, CrashStopsDelivery) {
+  Engine eng;
+  Network net(eng, 2, LinkModel{usec(100), 0, 0.0}, 1);
+  int received = 0;
+  net.set_handler(1, [&](ProcessId, const Bytes&) { ++received; });
+  net.send(0, 1, Bytes{0});
+  eng.run();
+  EXPECT_EQ(received, 1);
+  net.crash(1);
+  EXPECT_FALSE(net.alive(1));
+  net.send(0, 1, Bytes{0});
+  eng.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(Network, CrashedSenderSendsNothing) {
+  Engine eng;
+  Network net(eng, 2, LinkModel{usec(100), 0, 0.0}, 1);
+  int received = 0;
+  net.set_handler(1, [&](ProcessId, const Bytes&) { ++received; });
+  net.crash(0);
+  net.send(0, 1, Bytes{0});
+  eng.run();
+  EXPECT_EQ(received, 0);
+}
+
+TEST(Network, InFlightMessageLostToCrash) {
+  Engine eng;
+  Network net(eng, 2, LinkModel{usec(100), 0, 0.0}, 1);
+  int received = 0;
+  net.set_handler(1, [&](ProcessId, const Bytes&) { ++received; });
+  net.send(0, 1, Bytes{0});  // in flight
+  net.crash(1);              // crashes before delivery
+  eng.run();
+  EXPECT_EQ(received, 0);
+}
+
+TEST(Network, PartitionBlocksAcrossComponents) {
+  Engine eng;
+  Network net(eng, 4, LinkModel{usec(100), 0, 0.0}, 1);
+  std::vector<int> received(4, 0);
+  for (ProcessId p = 0; p < 4; ++p) {
+    net.set_handler(p, [&received, p](ProcessId, const Bytes&) { ++received[static_cast<std::size_t>(p)]; });
+  }
+  net.partition({{0, 1}, {2, 3}});
+  EXPECT_TRUE(net.connected(0, 1));
+  EXPECT_FALSE(net.connected(0, 2));
+  net.send(0, 1, Bytes{0});
+  net.send(0, 2, Bytes{0});
+  net.send(2, 3, Bytes{0});
+  eng.run();
+  EXPECT_EQ(received[1], 1);
+  EXPECT_EQ(received[2], 0);
+  EXPECT_EQ(received[3], 1);
+  net.heal();
+  net.send(0, 2, Bytes{0});
+  eng.run();
+  EXPECT_EQ(received[2], 1);
+}
+
+TEST(Network, UnlistedProcessesAreIsolatedByPartition) {
+  Engine eng;
+  Network net(eng, 3, LinkModel{usec(100), 0, 0.0}, 1);
+  net.partition({{0, 1}});
+  EXPECT_FALSE(net.connected(0, 2));
+  EXPECT_FALSE(net.connected(1, 2));
+  EXPECT_TRUE(net.connected(2, 2));
+}
+
+TEST(Network, PartitionAppliesAtDeliveryTime) {
+  Engine eng;
+  Network net(eng, 2, LinkModel{usec(100), 0, 0.0}, 1);
+  int received = 0;
+  net.set_handler(1, [&](ProcessId, const Bytes&) { ++received; });
+  net.send(0, 1, Bytes{0});          // in flight
+  net.partition({{0}, {1}});         // partition before delivery
+  eng.run();
+  EXPECT_EQ(received, 0);            // in-flight message cut by the partition
+}
+
+TEST(Network, LoopbackIsFast) {
+  Engine eng;
+  Network net(eng, 2, LinkModel{msec(10), 0, 0.0}, 1);
+  TimePoint arrival = -1;
+  net.set_handler(0, [&](ProcessId, const Bytes&) { arrival = eng.now(); });
+  net.send(0, 0, Bytes{0});
+  eng.run();
+  EXPECT_LT(arrival, msec(1));
+}
+
+TEST(Context, TimersSuppressedAfterKill) {
+  Engine eng;
+  Context ctx(0, eng, Rng(1), Logger(), std::make_shared<Metrics>());
+  int fired = 0;
+  ctx.after(10, [&] { ++fired; });
+  ctx.after(20, [&] { ++fired; });
+  eng.run_until(15);
+  EXPECT_EQ(fired, 1);
+  ctx.kill();
+  eng.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Context, DeterministicReplay) {
+  auto trace = [](std::uint64_t seed) {
+    Engine eng;
+    Network net(eng, 3, LinkModel{usec(100), usec(80), 0.1}, seed);
+    std::vector<std::pair<TimePoint, ProcessId>> log;
+    for (ProcessId p = 0; p < 3; ++p) {
+      net.set_handler(p, [&log, &eng, p](ProcessId, const Bytes&) {
+        log.emplace_back(eng.now(), p);
+      });
+    }
+    for (int i = 0; i < 50; ++i) {
+      net.send(static_cast<ProcessId>(i % 3), static_cast<ProcessId>((i + 1) % 3), Bytes{0});
+    }
+    eng.run();
+    return log;
+  };
+  EXPECT_EQ(trace(42), trace(42));
+  EXPECT_NE(trace(42), trace(43));
+}
+
+}  // namespace
+}  // namespace gcs::sim

@@ -1,0 +1,238 @@
+/// Integration tests: the whole Fig 9 stack end to end, including the
+/// paper's headline behaviours (§3.1, §4.3, §4.4).
+#include <gtest/gtest.h>
+
+#include "core/stack.hpp"
+#include "tests/test_util.hpp"
+
+namespace gcs {
+namespace {
+
+using test::bytes_of;
+using test::consistent_prefix;
+
+World::Config cfg(int n, std::uint64_t seed = 1, StackConfig sc = {}) {
+  World::Config c;
+  c.n = n;
+  c.seed = seed;
+  c.stack = std::move(sc);
+  return c;
+}
+
+TEST(Stack, EndToEndMixedWorkload) {
+  World w(cfg(4));
+  std::vector<test::DeliveryLog> alogs(4);
+  std::vector<test::DeliveryLog> glogs(4);
+  for (ProcessId p = 0; p < 4; ++p) {
+    w.stack(p).on_adeliver([&alogs, p](const MsgId& id, const Bytes& b) {
+      alogs[static_cast<std::size_t>(p)].record(id, b);
+    });
+    w.stack(p).on_gdeliver([&glogs, p](const MsgId& id, MsgClass, const Bytes& b) {
+      glogs[static_cast<std::size_t>(p)].record(id, b);
+    });
+  }
+  w.found_group_all();
+  for (int i = 0; i < 10; ++i) {
+    w.stack(static_cast<ProcessId>(i % 4)).abcast(bytes_of("a" + std::to_string(i)));
+    w.stack(static_cast<ProcessId>((i + 1) % 4)).rbcast(bytes_of("r" + std::to_string(i)));
+  }
+  ASSERT_TRUE(test::run_until(w.engine(), sec(30), [&] {
+    for (int p = 0; p < 4; ++p) {
+      if (alogs[static_cast<std::size_t>(p)].size() < 10) return false;
+      if (glogs[static_cast<std::size_t>(p)].size() < 10) return false;
+    }
+    return true;
+  }));
+  for (int p = 1; p < 4; ++p) {
+    EXPECT_TRUE(consistent_prefix(alogs[0].order, alogs[static_cast<std::size_t>(p)].order));
+  }
+}
+
+TEST(Stack, AbcastKeepsRunningThroughFalseSuspicions) {
+  // The headline §3.1.1 property: atomic broadcast above ◇S consensus does
+  // not block or reconfigure when the FD is wrong. Inject a burst of false
+  // suspicions of every process while traffic flows.
+  StackConfig sc;
+  sc.consensus_suspect_timeout = msec(40);
+  sc.monitoring.exclusion_timeout = sec(60);
+  World w(cfg(4, 3, sc));
+  std::vector<test::DeliveryLog> alogs(4);
+  for (ProcessId p = 0; p < 4; ++p) {
+    w.stack(p).on_adeliver([&alogs, p](const MsgId& id, const Bytes& b) {
+      alogs[static_cast<std::size_t>(p)].record(id, b);
+    });
+  }
+  w.found_group_all();
+  int sent = 0;
+  for (int burst = 0; burst < 5; ++burst) {
+    for (ProcessId p = 0; p < 4; ++p) {
+      w.stack(p).abcast(bytes_of(std::to_string(sent++)));
+      // Everyone wrongly suspects the round-robin coordinator candidates.
+      w.stack(p).fd().inject_suspicion(w.stack(p).consensus_fd_class(),
+                                       static_cast<ProcessId>((p + 1) % 4));
+    }
+    w.run_for(msec(50));
+  }
+  ASSERT_TRUE(test::run_until(w.engine(), sec(60), [&] {
+    for (int p = 0; p < 4; ++p) {
+      if (alogs[static_cast<std::size_t>(p)].size() < static_cast<std::size_t>(sent)) return false;
+    }
+    return true;
+  }));
+  // Nobody got excluded: suspicions stayed at the consensus level.
+  EXPECT_EQ(w.stack(0).view().members.size(), 4u);
+  for (int p = 1; p < 4; ++p) {
+    EXPECT_EQ(alogs[static_cast<std::size_t>(p)].order, alogs[0].order);
+  }
+}
+
+TEST(Stack, CrashRecoveryEndToEnd) {
+  // Crash a member mid-traffic: abcast continues (majority), monitoring
+  // eventually excludes the corpse, and the group keeps delivering.
+  StackConfig sc;
+  sc.monitoring.exclusion_timeout = msec(600);
+  World w(cfg(5, 9, sc));
+  std::vector<test::DeliveryLog> alogs(5);
+  for (ProcessId p = 0; p < 5; ++p) {
+    w.stack(p).on_adeliver([&alogs, p](const MsgId& id, const Bytes& b) {
+      alogs[static_cast<std::size_t>(p)].record(id, b);
+    });
+  }
+  w.found_group_all();
+  for (int i = 0; i < 5; ++i) w.stack(0).abcast(bytes_of("pre" + std::to_string(i)));
+  w.run_for(msec(50));
+  w.crash(4);
+  for (int i = 0; i < 5; ++i) w.stack(1).abcast(bytes_of("mid" + std::to_string(i)));
+  ASSERT_TRUE(test::run_until(w.engine(), sec(20),
+                              [&] { return !w.stack(0).view().contains(4); }));
+  for (int i = 0; i < 5; ++i) w.stack(2).abcast(bytes_of("post" + std::to_string(i)));
+  ASSERT_TRUE(test::run_until(w.engine(), sec(30), [&] {
+    for (ProcessId p = 0; p < 4; ++p) {
+      if (alogs[static_cast<std::size_t>(p)].size() < 15) return false;
+    }
+    return true;
+  }));
+  for (ProcessId p = 1; p < 4; ++p) {
+    EXPECT_EQ(alogs[static_cast<std::size_t>(p)].order, alogs[0].order);
+  }
+}
+
+TEST(Stack, SendersNeverBlockDuringViewChange) {
+  // §4.4: with membership above abcast, a join does NOT block senders.
+  // Fire traffic continuously across a join and verify that messages sent
+  // during the view change are accepted and delivered.
+  World w(cfg(4, 5));
+  std::vector<test::DeliveryLog> alogs(4);
+  for (ProcessId p = 0; p < 4; ++p) {
+    w.stack(p).on_adeliver([&alogs, p](const MsgId& id, const Bytes& b) {
+      alogs[static_cast<std::size_t>(p)].record(id, b);
+    });
+  }
+  w.found_group({0, 1, 2});
+  int sent = 0;
+  // Interleave: send, start join, keep sending during the change.
+  for (int i = 0; i < 3; ++i) w.stack(0).abcast(bytes_of(std::to_string(sent++)));
+  w.stack(3).join(1);
+  for (int i = 0; i < 10; ++i) {
+    w.stack(static_cast<ProcessId>(i % 3)).abcast(bytes_of(std::to_string(sent++)));
+    w.run_for(msec(2));
+  }
+  ASSERT_TRUE(test::run_until(w.engine(), sec(30), [&] {
+    return alogs[0].size() >= static_cast<std::size_t>(sent) &&
+           w.stack(3).membership().is_member();
+  }));
+  EXPECT_EQ(alogs[0].size(), static_cast<std::size_t>(sent));
+  EXPECT_TRUE(consistent_prefix(alogs[0].order, alogs[1].order));
+}
+
+TEST(Stack, GenericBroadcastAndMembershipCompose) {
+  // gbcast traffic across a membership change stays safe.
+  World w(cfg(5, 13));
+  std::vector<test::DeliveryLog> glogs(5);
+  for (ProcessId p = 0; p < 5; ++p) {
+    w.stack(p).on_gdeliver([&glogs, p](const MsgId& id, MsgClass, const Bytes& b) {
+      glogs[static_cast<std::size_t>(p)].record(id, b);
+    });
+  }
+  w.found_group({0, 1, 2, 3});
+  for (int i = 0; i < 5; ++i) {
+    w.stack(static_cast<ProcessId>(i % 4)).rbcast(bytes_of("pre" + std::to_string(i)));
+  }
+  w.run_for(msec(50));
+  w.stack(4).join(0);
+  ASSERT_TRUE(test::run_until(w.engine(), sec(20),
+                              [&] { return w.stack(4).membership().is_member(); }));
+  for (int i = 0; i < 5; ++i) {
+    w.stack(static_cast<ProcessId>(i % 5)).gbcast((i % 2) ? kAbcastClass : kRbcastClass,
+                                                  bytes_of("post" + std::to_string(i)));
+  }
+  ASSERT_TRUE(test::run_until(w.engine(), sec(30), [&] {
+    for (ProcessId p = 0; p < 4; ++p) {
+      if (glogs[static_cast<std::size_t>(p)].size() < 10) return false;
+    }
+    return glogs[4].size() >= 5;
+  }));
+  // Old members delivered everything exactly once.
+  for (ProcessId p = 0; p < 4; ++p) {
+    std::set<MsgId> uniq(glogs[static_cast<std::size_t>(p)].order.begin(),
+                         glogs[static_cast<std::size_t>(p)].order.end());
+    EXPECT_EQ(uniq.size(), glogs[static_cast<std::size_t>(p)].order.size());
+  }
+}
+
+TEST(Stack, DeterministicAcrossRuns) {
+  auto run_once = [](std::uint64_t seed) {
+    World w(cfg(4, seed));
+    std::vector<MsgId> order;
+    w.stack(0).on_adeliver([&order](const MsgId& id, const Bytes&) { order.push_back(id); });
+    w.found_group_all();
+    for (int i = 0; i < 8; ++i) {
+      w.stack(static_cast<ProcessId>(i % 4)).abcast(bytes_of(std::to_string(i)));
+    }
+    test::run_until(w.engine(), sec(10), [&] { return order.size() >= 8; });
+    return order;
+  };
+  EXPECT_EQ(run_once(42), run_once(42));
+}
+
+
+TEST(Stack, CausalBroadcastOperation) {
+  // cbcast at the stack level: happened-before order across members.
+  World w(cfg(4, 21));
+  std::vector<std::vector<MsgId>> clogs(4);
+  for (ProcessId p = 0; p < 4; ++p) {
+    w.stack(p).on_cdeliver([&clogs, p](const MsgId& id, const Bytes&) {
+      clogs[static_cast<std::size_t>(p)].push_back(id);
+    });
+  }
+  w.found_group_all();
+  const MsgId m1 = w.stack(0).cbcast(bytes_of("cause"));
+  ASSERT_TRUE(test::run_until(w.engine(), sec(5), [&] { return !clogs[1].empty(); }));
+  const MsgId m2 = w.stack(1).cbcast(bytes_of("effect"));
+  ASSERT_TRUE(test::run_until(w.engine(), sec(5), [&] {
+    for (auto& log : clogs) {
+      if (log.size() < 2) return false;
+    }
+    return true;
+  }));
+  for (ProcessId p = 0; p < 4; ++p) {
+    const auto& log = clogs[static_cast<std::size_t>(p)];
+    EXPECT_EQ(log[0], m1) << "p" << p;
+    EXPECT_EQ(log[1], m2) << "p" << p;
+  }
+  // Causal order costs no consensus.
+  EXPECT_EQ(w.stack(0).consensus().instances_decided(), 0);
+}
+
+TEST(Stack, MetricsAreExposed) {
+  World w(cfg(3));
+  w.found_group_all();
+  w.stack(0).abcast(bytes_of("x"));
+  w.run_for(sec(1));
+  EXPECT_GT(w.stack(0).metrics().counter("abcast.broadcasts"), 0);
+  EXPECT_GT(w.stack(0).metrics().counter("consensus.decided"), 0);
+  EXPECT_GT(w.network().metrics().counter("net.delivered"), 0);
+}
+
+}  // namespace
+}  // namespace gcs

@@ -1,0 +1,58 @@
+/// \file test_util.hpp
+/// Shared helpers for the nggcs test suite.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/stack.hpp"
+#include "util/types.hpp"
+
+namespace gcs::test {
+
+inline Bytes bytes_of(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+inline std::string str_of(const Bytes& b) { return std::string(b.begin(), b.end()); }
+
+/// Run the engine until \p predicate holds or \p budget of virtual time has
+/// elapsed. Returns true iff the predicate held. The predicate is checked
+/// after every event, so self-perpetuating timers (heartbeats) don't hang
+/// the test.
+inline bool run_until(sim::Engine& engine, Duration budget,
+                      const std::function<bool()>& predicate) {
+  const TimePoint deadline = engine.now() + budget;
+  while (!predicate()) {
+    if (engine.now() > deadline) return false;
+    if (!engine.step()) return predicate();
+  }
+  return true;
+}
+
+inline bool run_until(World& world, Duration budget, const std::function<bool()>& predicate) {
+  return run_until(world.engine(), budget, predicate);
+}
+
+/// Records one process's deliveries for order/agreement assertions.
+struct DeliveryLog {
+  std::vector<MsgId> order;
+  std::vector<std::string> payloads;
+
+  void record(const MsgId& id, const Bytes& payload) {
+    order.push_back(id);
+    payloads.push_back(str_of(payload));
+  }
+  std::size_t size() const { return order.size(); }
+};
+
+/// True iff \p a is a prefix of \p b or vice versa (total-order check for
+/// logs of different lengths).
+inline bool consistent_prefix(const std::vector<MsgId>& a, const std::vector<MsgId>& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace gcs::test

@@ -1,0 +1,95 @@
+/// Uniform agreement in reliable broadcast: why receivers RELAY. The lazy
+/// variant (no relay, O(n) messages) can deliver a message at a process
+/// while correct processes never get it — fatal for replication (a replica
+/// acted on a command nobody else will ever see). The eager default
+/// (relay-before-deliver, O(n^2)) closes the hole.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "broadcast/reliable_broadcast.hpp"
+#include "tests/test_util.hpp"
+#include "transport/sim_transport.hpp"
+
+namespace gcs {
+namespace {
+
+using test::bytes_of;
+
+struct RbWorld {
+  sim::Engine engine;
+  sim::Network network;
+  struct Proc {
+    std::unique_ptr<sim::Context> ctx;
+    std::unique_ptr<SimTransport> transport;
+    std::unique_ptr<ReliableChannel> channel;
+    std::unique_ptr<ReliableBroadcast> rbcast;
+    std::vector<MsgId> delivered;
+  };
+  std::vector<Proc> procs;
+
+  explicit RbWorld(int n, bool non_uniform, std::uint64_t seed = 1)
+      : network(engine, n, sim::LinkModel{usec(300), usec(100), 0.0}, seed) {
+    std::vector<ProcessId> all;
+    for (ProcessId p = 0; p < n; ++p) all.push_back(p);
+    procs.resize(static_cast<std::size_t>(n));
+    for (ProcessId p = 0; p < n; ++p) {
+      auto& proc = procs[static_cast<std::size_t>(p)];
+      proc.ctx = std::make_unique<sim::Context>(
+          p, engine, Rng(seed + static_cast<std::uint64_t>(p)), Logger(),
+          std::make_shared<Metrics>());
+      proc.transport = std::make_unique<SimTransport>(*proc.ctx, network);
+      proc.channel = std::make_unique<ReliableChannel>(*proc.ctx, *proc.transport);
+      proc.rbcast = std::make_unique<ReliableBroadcast>(*proc.ctx, *proc.channel, Tag::kRbcast);
+      proc.rbcast->unsafe_set_non_uniform(non_uniform);
+      proc.rbcast->set_group(all);
+      proc.rbcast->on_deliver(
+          [&proc](const MsgId& id, const Bytes&) { proc.delivered.push_back(id); });
+    }
+  }
+
+  void crash(ProcessId p) {
+    procs[static_cast<std::size_t>(p)].ctx->kill();
+    network.crash(p);
+  }
+};
+
+/// The killer schedule: the sender's datagrams to p2/p3 are lost, p1 gets
+/// and delivers its copy, the sender crashes before any retransmission
+/// succeeds. Without relays the message dies with the sender.
+TEST(Uniformity, LazyVariantViolatesUniformAgreement) {
+  RbWorld w(4, /*non_uniform=*/true);
+  // Everything p0 sends towards p2/p3 is lost (and keeps being lost, so
+  // retransmissions don't save it); p0 -> p1 is clean.
+  w.network.set_link(0, 2, sim::LinkModel{usec(300), 0, 1.0});
+  w.network.set_link(0, 3, sim::LinkModel{usec(300), 0, 1.0});
+  w.procs[0].rbcast->broadcast(bytes_of("doomed"));
+  w.engine.run_until(msec(2));
+  EXPECT_EQ(w.procs[1].delivered.size(), 1u) << "p1 should have delivered already";
+  w.crash(0);
+  w.engine.run_until(sec(2));
+  // Uniform agreement says: if ANY process delivered (p1 did), all correct
+  // processes deliver. p1 is correct and has it; p2/p3 are correct and
+  // never will: VIOLATION (which this test documents).
+  EXPECT_EQ(w.procs[2].delivered.size(), 0u);
+  EXPECT_EQ(w.procs[3].delivered.size(), 0u);
+}
+
+/// Same schedule, safe default: p1's relay reaches the survivors even
+/// though everything from p0 towards them is lost.
+TEST(Uniformity, DefaultEagerRelayPreservesUniformAgreement) {
+  RbWorld w(4, /*non_uniform=*/false);
+  w.network.set_link(0, 2, sim::LinkModel{usec(300), 0, 1.0});
+  w.network.set_link(0, 3, sim::LinkModel{usec(300), 0, 1.0});
+  w.procs[0].rbcast->broadcast(bytes_of("safe"));
+  w.engine.run_until(msec(2));
+  EXPECT_EQ(w.procs[1].delivered.size(), 1u);
+  w.crash(0);
+  w.engine.run_until(sec(2));
+  // p1 relayed on first receipt: the survivors have it.
+  EXPECT_EQ(w.procs[2].delivered.size(), 1u);
+  EXPECT_EQ(w.procs[3].delivered.size(), 1u);
+}
+
+}  // namespace
+}  // namespace gcs

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include "util/codec.hpp"
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace gcs {
+namespace {
+
+TEST(Codec, VarintRoundTripSmall) {
+  Encoder enc;
+  enc.put_u64(0);
+  enc.put_u64(1);
+  enc.put_u64(127);
+  enc.put_u64(128);
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_u64(), 0u);
+  EXPECT_EQ(dec.get_u64(), 1u);
+  EXPECT_EQ(dec.get_u64(), 127u);
+  EXPECT_EQ(dec.get_u64(), 128u);
+  EXPECT_TRUE(dec.ok());
+  EXPECT_TRUE(dec.at_end());
+}
+
+TEST(Codec, VarintRoundTripLarge) {
+  const std::uint64_t values[] = {1ull << 32, 1ull << 63, ~0ull, 0x123456789abcdefull};
+  Encoder enc;
+  for (auto v : values) enc.put_u64(v);
+  Decoder dec(enc.bytes());
+  for (auto v : values) EXPECT_EQ(dec.get_u64(), v);
+  EXPECT_TRUE(dec.ok());
+}
+
+TEST(Codec, SignedZigzag) {
+  const std::int64_t values[] = {0, -1, 1, -64, 64, INT64_MIN, INT64_MAX, -123456789};
+  Encoder enc;
+  for (auto v : values) enc.put_i64(v);
+  Decoder dec(enc.bytes());
+  for (auto v : values) EXPECT_EQ(dec.get_i64(), v);
+  EXPECT_TRUE(dec.ok());
+}
+
+TEST(Codec, SmallNegativesAreCompact) {
+  Encoder enc;
+  enc.put_i64(-1);
+  EXPECT_EQ(enc.size(), 1u);  // zigzag: -1 -> 1
+}
+
+TEST(Codec, StringsAndBytes) {
+  Encoder enc;
+  enc.put_string("hello");
+  enc.put_string("");
+  enc.put_bytes(Bytes{1, 2, 3});
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_string(), "hello");
+  EXPECT_EQ(dec.get_string(), "");
+  EXPECT_EQ(dec.get_bytes(), (Bytes{1, 2, 3}));
+  EXPECT_TRUE(dec.ok());
+}
+
+TEST(Codec, MsgIdRoundTrip) {
+  Encoder enc;
+  enc.put_msgid(MsgId{7, 42});
+  enc.put_msgid(MsgId{-1, 0});
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_msgid(), (MsgId{7, 42}));
+  EXPECT_EQ(dec.get_msgid(), (MsgId{-1, 0}));
+  EXPECT_TRUE(dec.ok());
+}
+
+TEST(Codec, VectorRoundTrip) {
+  Encoder enc;
+  std::vector<std::uint32_t> v{1, 2, 3, 500};
+  enc.put_vector(v, [](Encoder& e, std::uint32_t x) { e.put_u32(x); });
+  Decoder dec(enc.bytes());
+  auto out = dec.get_vector<std::uint32_t>([](Decoder& d) { return d.get_u32(); });
+  EXPECT_EQ(out, v);
+  EXPECT_TRUE(dec.ok());
+}
+
+TEST(Codec, TruncatedInputFailsGracefully) {
+  Encoder enc;
+  enc.put_string("this is a long string");
+  Bytes truncated = enc.take();
+  truncated.resize(4);
+  Decoder dec(truncated);
+  (void)dec.get_string();
+  EXPECT_FALSE(dec.ok());
+}
+
+TEST(Codec, HostileVectorLengthRejected) {
+  Encoder enc;
+  enc.put_u64(1ull << 40);  // claims 2^40 elements in a tiny buffer
+  Decoder dec(enc.bytes());
+  auto out = dec.get_vector<std::uint32_t>([](Decoder& d) { return d.get_u32(); });
+  EXPECT_TRUE(out.empty());
+  EXPECT_FALSE(dec.ok());
+}
+
+TEST(Codec, CorruptVarintFails) {
+  Bytes bad(11, 0xff);  // continuation bit forever
+  Decoder dec(bad);
+  (void)dec.get_u64();
+  EXPECT_FALSE(dec.ok());
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoublesInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, SplitIndependent) {
+  Rng parent(5);
+  Rng child = parent.split();
+  // Child stream differs from the parent's continued stream.
+  EXPECT_NE(parent.next_u64(), child.next_u64());
+}
+
+TEST(Histogram, Percentiles) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(i);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 100);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  EXPECT_NEAR(static_cast<double>(h.percentile(50)), 50.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(h.percentile(99)), 99.0, 1.0);
+  EXPECT_EQ(h.percentile(0), 1);
+  EXPECT_EQ(h.percentile(100), 100);
+}
+
+TEST(Histogram, Empty) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(50), 0);
+}
+
+TEST(Histogram, InterleavedAddAndQuery) {
+  Histogram h;
+  h.add(10);
+  EXPECT_EQ(h.max(), 10);
+  h.add(5);  // added after a sorted query
+  EXPECT_EQ(h.min(), 5);
+  EXPECT_EQ(h.max(), 10);
+}
+
+TEST(Metrics, CountersAndHistograms) {
+  Metrics m;
+  m.inc("a");
+  m.inc("a", 2);
+  m.inc("b", -1);
+  EXPECT_EQ(m.counter("a"), 3);
+  EXPECT_EQ(m.counter("b"), -1);
+  EXPECT_EQ(m.counter("missing"), 0);
+  m.observe("lat", 100);
+  m.observe("lat", 200);
+  EXPECT_EQ(m.histogram("lat").count(), 2u);
+  EXPECT_EQ(m.histogram("missing").count(), 0u);
+  m.clear();
+  EXPECT_EQ(m.counter("a"), 0);
+}
+
+TEST(Types, MsgIdOrdering) {
+  EXPECT_LT((MsgId{1, 5}), (MsgId{2, 0}));
+  EXPECT_LT((MsgId{1, 5}), (MsgId{1, 6}));
+  EXPECT_EQ((MsgId{1, 5}), (MsgId{1, 5}));
+  EXPECT_EQ(to_string(MsgId{3, 17}), "3:17");
+}
+
+TEST(Types, DurationHelpers) {
+  EXPECT_EQ(usec(5), 5);
+  EXPECT_EQ(msec(5), 5000);
+  EXPECT_EQ(sec(5), 5000000);
+}
+
+}  // namespace
+}  // namespace gcs

@@ -1,0 +1,102 @@
+/// Virtual synchrony property of the traditional stack (the paper's §1.1
+/// definition, footnote 1): processes that transition together from view v
+/// to view v' deliver the SAME SET of messages in v.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "traditional/gmvs_stack.hpp"
+#include "tests/test_util.hpp"
+
+namespace gcs::traditional {
+namespace {
+
+using test::bytes_of;
+
+class VsProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VsProperty, SurvivorsDeliverSameSetPerView) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  sim::Engine engine;
+  sim::Network network(engine, 5,
+                       sim::LinkModel{usec(100 + rng.next_range(0, 300)),
+                                      usec(rng.next_range(0, 400)), rng.next_double() * 0.05},
+                       seed);
+  GmVsStack::Config cfg;
+  cfg.suspect_timeout = msec(200);
+  std::vector<std::unique_ptr<GmVsStack>> stacks;
+  // Per process: view id -> set of message ids delivered in that view.
+  std::vector<std::map<std::uint64_t, std::set<MsgId>>> per_view(5);
+  for (ProcessId p = 0; p < 5; ++p) {
+    stacks.push_back(std::make_unique<GmVsStack>(engine, network, p, seed, cfg));
+    auto* stack = stacks.back().get();
+    stacks.back()->on_adeliver([&per_view, p, stack](const MsgId& id, const Bytes&) {
+      per_view[static_cast<std::size_t>(p)][stack->view().id].insert(id);
+    });
+  }
+  std::vector<ProcessId> all{0, 1, 2, 3, 4};
+  for (auto& s : stacks) {
+    s->init_view(all);
+    s->start();
+  }
+  // Traffic + one crash at a random time.
+  const ProcessId victim = static_cast<ProcessId>(rng.next_below(5));
+  const Duration crash_at = rng.next_range(msec(5), msec(40));
+  engine.schedule_at(crash_at, [&stacks, victim] {
+    stacks[static_cast<std::size_t>(victim)]->crash();
+  });
+  int sent = 0;
+  std::function<void()> tick = [&] {
+    if (sent >= 40) return;
+    const auto p = static_cast<ProcessId>(rng.next_below(5));
+    if (network.alive(p) && stacks[static_cast<std::size_t>(p)]->is_member()) {
+      stacks[static_cast<std::size_t>(p)]->abcast(bytes_of(std::to_string(sent)));
+    }
+    ++sent;
+    engine.schedule_after(msec(2), tick);
+  };
+  engine.schedule_after(0, tick);
+  // Run until the view change settled and traffic drained.
+  ASSERT_TRUE(test::run_until(engine, sec(60), [&] {
+    if (sent < 40) return false;
+    for (ProcessId p = 0; p < 5; ++p) {
+      if (p == victim || !network.alive(p)) continue;
+      if (stacks[static_cast<std::size_t>(p)]->view().contains(victim)) return false;
+      if (stacks[static_cast<std::size_t>(p)]->is_blocked()) return false;
+    }
+    return true;
+  })) << "seed=" << seed;
+  engine.run_until(engine.now() + sec(2));
+  // Virtual synchrony: for every CLOSED view (every view except the current
+  // one), all surviving members delivered the same message set in it.
+  std::uint64_t current_view = 0;
+  for (ProcessId p = 0; p < 5; ++p) {
+    if (p == victim) continue;
+    current_view =
+        std::max(current_view, stacks[static_cast<std::size_t>(p)]->view().id);
+  }
+  for (std::uint64_t v = 0; v < current_view; ++v) {
+    const std::set<MsgId>* reference = nullptr;
+    for (ProcessId p = 0; p < 5; ++p) {
+      if (p == victim) continue;
+      // Only compare processes that were members throughout view v; all
+      // survivors were (only the victim left).
+      const auto& mine = per_view[static_cast<std::size_t>(p)][v];
+      if (!reference) {
+        reference = &mine;
+      } else {
+        EXPECT_EQ(mine, *reference)
+            << "virtual synchrony violated in view " << v << " at p" << p
+            << " seed=" << seed;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VsProperty, ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace gcs::traditional
