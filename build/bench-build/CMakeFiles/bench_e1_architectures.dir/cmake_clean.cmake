@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e1_architectures"
+  "../bench/bench_e1_architectures.pdb"
+  "CMakeFiles/bench_e1_architectures.dir/bench_e1_architectures.cpp.o"
+  "CMakeFiles/bench_e1_architectures.dir/bench_e1_architectures.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_architectures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e2_fig8_passive"
+  "../bench/bench_e2_fig8_passive.pdb"
+  "CMakeFiles/bench_e2_fig8_passive.dir/bench_e2_fig8_passive.cpp.o"
+  "CMakeFiles/bench_e2_fig8_passive.dir/bench_e2_fig8_passive.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_fig8_passive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

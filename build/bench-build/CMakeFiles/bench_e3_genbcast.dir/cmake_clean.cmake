@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e3_genbcast"
+  "../bench/bench_e3_genbcast.pdb"
+  "CMakeFiles/bench_e3_genbcast.dir/bench_e3_genbcast.cpp.o"
+  "CMakeFiles/bench_e3_genbcast.dir/bench_e3_genbcast.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_genbcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

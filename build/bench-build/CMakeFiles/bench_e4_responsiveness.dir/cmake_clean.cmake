@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e4_responsiveness"
+  "../bench/bench_e4_responsiveness.pdb"
+  "CMakeFiles/bench_e4_responsiveness.dir/bench_e4_responsiveness.cpp.o"
+  "CMakeFiles/bench_e4_responsiveness.dir/bench_e4_responsiveness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_responsiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

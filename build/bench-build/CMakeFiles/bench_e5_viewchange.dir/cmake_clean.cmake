@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e5_viewchange"
+  "../bench/bench_e5_viewchange.pdb"
+  "CMakeFiles/bench_e5_viewchange.dir/bench_e5_viewchange.cpp.o"
+  "CMakeFiles/bench_e5_viewchange.dir/bench_e5_viewchange.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_viewchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ensemble_stack.dir/ensemble_stack.cpp.o"
+  "CMakeFiles/ensemble_stack.dir/ensemble_stack.cpp.o.d"
+  "ensemble_stack"
+  "ensemble_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ensemble_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

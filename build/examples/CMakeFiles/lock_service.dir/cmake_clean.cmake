@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_service.dir/lock_service.cpp.o"
+  "CMakeFiles/lock_service.dir/lock_service.cpp.o.d"
+  "lock_service"
+  "lock_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

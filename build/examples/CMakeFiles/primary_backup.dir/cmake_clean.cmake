@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primary_backup.dir/primary_backup.cpp.o"
+  "CMakeFiles/primary_backup.dir/primary_backup.cpp.o.d"
+  "primary_backup"
+  "primary_backup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primary_backup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("transport")
+subdirs("channel")
+subdirs("fd")
+subdirs("consensus")
+subdirs("broadcast")
+subdirs("core")
+subdirs("traditional")
+subdirs("replication")
+subdirs("runtime")
+subdirs("kernel")

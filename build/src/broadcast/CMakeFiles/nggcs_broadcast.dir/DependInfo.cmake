@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/broadcast/atomic_broadcast.cpp" "src/broadcast/CMakeFiles/nggcs_broadcast.dir/atomic_broadcast.cpp.o" "gcc" "src/broadcast/CMakeFiles/nggcs_broadcast.dir/atomic_broadcast.cpp.o.d"
+  "/root/repo/src/broadcast/causal_broadcast.cpp" "src/broadcast/CMakeFiles/nggcs_broadcast.dir/causal_broadcast.cpp.o" "gcc" "src/broadcast/CMakeFiles/nggcs_broadcast.dir/causal_broadcast.cpp.o.d"
+  "/root/repo/src/broadcast/reliable_broadcast.cpp" "src/broadcast/CMakeFiles/nggcs_broadcast.dir/reliable_broadcast.cpp.o" "gcc" "src/broadcast/CMakeFiles/nggcs_broadcast.dir/reliable_broadcast.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/consensus/CMakeFiles/nggcs_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/nggcs_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nggcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nggcs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/fd/CMakeFiles/nggcs_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/nggcs_transport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

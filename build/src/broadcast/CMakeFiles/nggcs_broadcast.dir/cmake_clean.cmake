@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nggcs_broadcast.dir/atomic_broadcast.cpp.o"
+  "CMakeFiles/nggcs_broadcast.dir/atomic_broadcast.cpp.o.d"
+  "CMakeFiles/nggcs_broadcast.dir/causal_broadcast.cpp.o"
+  "CMakeFiles/nggcs_broadcast.dir/causal_broadcast.cpp.o.d"
+  "CMakeFiles/nggcs_broadcast.dir/reliable_broadcast.cpp.o"
+  "CMakeFiles/nggcs_broadcast.dir/reliable_broadcast.cpp.o.d"
+  "libnggcs_broadcast.a"
+  "libnggcs_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nggcs_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nggcs_channel.dir/reliable_channel.cpp.o"
+  "CMakeFiles/nggcs_channel.dir/reliable_channel.cpp.o.d"
+  "libnggcs_channel.a"
+  "libnggcs_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nggcs_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nggcs_consensus.dir/consensus.cpp.o"
+  "CMakeFiles/nggcs_consensus.dir/consensus.cpp.o.d"
+  "CMakeFiles/nggcs_consensus.dir/paxos.cpp.o"
+  "CMakeFiles/nggcs_consensus.dir/paxos.cpp.o.d"
+  "libnggcs_consensus.a"
+  "libnggcs_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nggcs_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nggcs_core.dir/generic_broadcast.cpp.o"
+  "CMakeFiles/nggcs_core.dir/generic_broadcast.cpp.o.d"
+  "CMakeFiles/nggcs_core.dir/membership.cpp.o"
+  "CMakeFiles/nggcs_core.dir/membership.cpp.o.d"
+  "CMakeFiles/nggcs_core.dir/monitoring.cpp.o"
+  "CMakeFiles/nggcs_core.dir/monitoring.cpp.o.d"
+  "CMakeFiles/nggcs_core.dir/stack.cpp.o"
+  "CMakeFiles/nggcs_core.dir/stack.cpp.o.d"
+  "libnggcs_core.a"
+  "libnggcs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nggcs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

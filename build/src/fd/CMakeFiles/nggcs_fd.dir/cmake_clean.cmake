@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nggcs_fd.dir/failure_detector.cpp.o"
+  "CMakeFiles/nggcs_fd.dir/failure_detector.cpp.o.d"
+  "libnggcs_fd.a"
+  "libnggcs_fd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nggcs_fd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnggcs_fd.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nggcs_kernel.dir/stack.cpp.o"
+  "CMakeFiles/nggcs_kernel.dir/stack.cpp.o.d"
+  "libnggcs_kernel.a"
+  "libnggcs_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nggcs_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nggcs_replication.dir/active.cpp.o"
+  "CMakeFiles/nggcs_replication.dir/active.cpp.o.d"
+  "CMakeFiles/nggcs_replication.dir/client.cpp.o"
+  "CMakeFiles/nggcs_replication.dir/client.cpp.o.d"
+  "CMakeFiles/nggcs_replication.dir/lock_service.cpp.o"
+  "CMakeFiles/nggcs_replication.dir/lock_service.cpp.o.d"
+  "CMakeFiles/nggcs_replication.dir/passive.cpp.o"
+  "CMakeFiles/nggcs_replication.dir/passive.cpp.o.d"
+  "libnggcs_replication.a"
+  "libnggcs_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nggcs_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nggcs_runtime.dir/realtime_runner.cpp.o"
+  "CMakeFiles/nggcs_runtime.dir/realtime_runner.cpp.o.d"
+  "CMakeFiles/nggcs_runtime.dir/udp_transport.cpp.o"
+  "CMakeFiles/nggcs_runtime.dir/udp_transport.cpp.o.d"
+  "libnggcs_runtime.a"
+  "libnggcs_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nggcs_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nggcs_sim.dir/engine.cpp.o"
+  "CMakeFiles/nggcs_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/nggcs_sim.dir/network.cpp.o"
+  "CMakeFiles/nggcs_sim.dir/network.cpp.o.d"
+  "libnggcs_sim.a"
+  "libnggcs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nggcs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nggcs_traditional.dir/gmvs_stack.cpp.o"
+  "CMakeFiles/nggcs_traditional.dir/gmvs_stack.cpp.o.d"
+  "CMakeFiles/nggcs_traditional.dir/sequencer.cpp.o"
+  "CMakeFiles/nggcs_traditional.dir/sequencer.cpp.o.d"
+  "CMakeFiles/nggcs_traditional.dir/token_ring.cpp.o"
+  "CMakeFiles/nggcs_traditional.dir/token_ring.cpp.o.d"
+  "libnggcs_traditional.a"
+  "libnggcs_traditional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nggcs_traditional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

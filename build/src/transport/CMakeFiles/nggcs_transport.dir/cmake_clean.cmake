@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nggcs_transport.dir/sim_transport.cpp.o"
+  "CMakeFiles/nggcs_transport.dir/sim_transport.cpp.o.d"
+  "libnggcs_transport.a"
+  "libnggcs_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nggcs_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nggcs_util.dir/codec.cpp.o"
+  "CMakeFiles/nggcs_util.dir/codec.cpp.o.d"
+  "CMakeFiles/nggcs_util.dir/log.cpp.o"
+  "CMakeFiles/nggcs_util.dir/log.cpp.o.d"
+  "CMakeFiles/nggcs_util.dir/metrics.cpp.o"
+  "CMakeFiles/nggcs_util.dir/metrics.cpp.o.d"
+  "CMakeFiles/nggcs_util.dir/types.cpp.o"
+  "CMakeFiles/nggcs_util.dir/types.cpp.o.d"
+  "libnggcs_util.a"
+  "libnggcs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nggcs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

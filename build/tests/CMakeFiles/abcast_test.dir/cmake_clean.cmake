@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abcast_test.dir/abcast_test.cpp.o"
+  "CMakeFiles/abcast_test.dir/abcast_test.cpp.o.d"
+  "abcast_test"
+  "abcast_test.pdb"
+  "abcast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abcast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

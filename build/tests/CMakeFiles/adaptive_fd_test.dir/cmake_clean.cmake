@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_fd_test.dir/adaptive_fd_test.cpp.o"
+  "CMakeFiles/adaptive_fd_test.dir/adaptive_fd_test.cpp.o.d"
+  "adaptive_fd_test"
+  "adaptive_fd_test.pdb"
+  "adaptive_fd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_fd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fuzz_test.cpp" "tests/CMakeFiles/fuzz_test.dir/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/fuzz_test.dir/fuzz_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/traditional/CMakeFiles/nggcs_traditional.dir/DependInfo.cmake"
+  "/root/repo/build/src/replication/CMakeFiles/nggcs_replication.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/nggcs_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/nggcs_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nggcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/broadcast/CMakeFiles/nggcs_broadcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/nggcs_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/fd/CMakeFiles/nggcs_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/nggcs_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/nggcs_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nggcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nggcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

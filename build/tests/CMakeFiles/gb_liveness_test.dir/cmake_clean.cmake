@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_liveness_test.dir/gb_liveness_test.cpp.o"
+  "CMakeFiles/gb_liveness_test.dir/gb_liveness_test.cpp.o.d"
+  "gb_liveness_test"
+  "gb_liveness_test.pdb"
+  "gb_liveness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_liveness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

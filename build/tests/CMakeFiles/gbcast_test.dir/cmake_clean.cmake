@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbcast_test.dir/gbcast_test.cpp.o"
+  "CMakeFiles/gbcast_test.dir/gbcast_test.cpp.o.d"
+  "gbcast_test"
+  "gbcast_test.pdb"
+  "gbcast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbcast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_edge_test.dir/gc_edge_test.cpp.o"
+  "CMakeFiles/gc_edge_test.dir/gc_edge_test.cpp.o.d"
+  "gc_edge_test"
+  "gc_edge_test.pdb"
+  "gc_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmvs_test.dir/gmvs_test.cpp.o"
+  "CMakeFiles/gmvs_test.dir/gmvs_test.cpp.o.d"
+  "gmvs_test"
+  "gmvs_test.pdb"
+  "gmvs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmvs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vs_property_test.dir/vs_property_test.cpp.o"
+  "CMakeFiles/vs_property_test.dir/vs_property_test.cpp.o.d"
+  "vs_property_test"
+  "vs_property_test.pdb"
+  "vs_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vs_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
