@@ -1,18 +1,102 @@
 /// \file bench_e7_micro.cpp
-/// E7 — wall-clock microbenchmarks (google-benchmark) of the building
-/// blocks: codec, event engine, network, consensus, atomic and generic
-/// broadcast end-to-end. These measure REAL time (how fast the simulator
-/// executes), complementing the virtual-time experiment tables E1–E6.
+/// E7 — wall-clock microbenchmarks of the building blocks: codec, event
+/// engine, network, consensus, atomic and generic broadcast end-to-end.
+/// These measure REAL time (how fast the simulator executes),
+/// complementing the virtual-time experiment tables E1–E6.
+///
+/// Two modes:
+///   (default)        google-benchmark suite, usual gbench flags apply.
+///   --json[=path]    kernel hot-path suite with the counting allocator:
+///                    engine steady-state/cold-start/cancel-churn, network
+///                    fan-out and event routing, written as machine-
+///                    readable JSON (default ./BENCH_kernel.json). Used by
+///                    CI; how to read the numbers is documented in
+///                    DESIGN.md ("Kernel performance model").
+///
+/// This translation unit replaces global operator new/delete with
+/// counting versions, so allocations per event can be reported exactly.
+/// The counters are process-wide but only this binary opts in.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <new>
+#include <string>
+#include <vector>
 
+#include "bench/bench_util.hpp"
 #include "core/stack.hpp"
+#include "kernel/attr.hpp"
+#include "kernel/event.hpp"
 #include "replication/state_machine.hpp"
+#include "sim/network.hpp"
 #include "util/codec.hpp"
+
+// --------------------------------------------------------------------------
+// Counting allocator: every path into the heap increments a counter. Used
+// to verify the zero-allocation steady-state claim of the timer engine.
+// --------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_frees{0};
+
+struct AllocSnapshot {
+  std::uint64_t allocs;
+  std::uint64_t frees;
+};
+
+AllocSnapshot alloc_snapshot() {
+  return {g_allocs.load(std::memory_order_relaxed), g_frees.load(std::memory_order_relaxed)};
+}
+
+void* counted_alloc(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t rounded = (size + align - 1) / align * align;
+  if (void* p = std::aligned_alloc(align, rounded ? rounded : align)) return p;
+  throw std::bad_alloc();
+}
+
+void counted_free(void* p) noexcept {
+  if (!p) return;
+  g_frees.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { counted_free(p); }
 
 namespace gcs {
 namespace {
+
+// --------------------------------------------------------------------------
+// google-benchmark suite (default mode)
+// --------------------------------------------------------------------------
 
 void BM_CodecEncode(benchmark::State& state) {
   for (auto _ : state) {
@@ -45,6 +129,7 @@ void BM_CodecDecode(benchmark::State& state) {
 }
 BENCHMARK(BM_CodecDecode);
 
+/// Cold shape: engine construction + 1000 one-shot timers, every iteration.
 void BM_EngineScheduleAndRun(benchmark::State& state) {
   for (auto _ : state) {
     sim::Engine engine;
@@ -55,8 +140,32 @@ void BM_EngineScheduleAndRun(benchmark::State& state) {
     engine.run();
     benchmark::DoNotOptimize(fired);
   }
+  state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_EngineScheduleAndRun);
+
+/// Steady shape: 64 self-rescheduling timers on a long-lived engine — the
+/// state a multi-second simulation run spends nearly all its time in.
+void BM_EngineSteadyState(benchmark::State& state) {
+  sim::Engine engine;
+  long long fired = 0;
+  struct Tick {
+    sim::Engine* engine;
+    long long* fired;
+    void operator()() const {
+      ++*fired;
+      engine->schedule_after(10, Tick{*this});
+    }
+  };
+  for (int i = 0; i < 64; ++i) engine.schedule_after(i, Tick{&engine, &fired});
+  for (auto _ : state) {
+    engine.run(1000);
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(state.iterations() * 1000);
+  // Pending self-rescheduling timers die with the engine.
+}
+BENCHMARK(BM_EngineSteadyState);
 
 void BM_NetworkSendDeliver(benchmark::State& state) {
   for (auto _ : state) {
@@ -68,6 +177,7 @@ void BM_NetworkSendDeliver(benchmark::State& state) {
     engine.run();
     benchmark::DoNotOptimize(received);
   }
+  state.SetItemsProcessed(state.iterations() * 100);
 }
 BENCHMARK(BM_NetworkSendDeliver);
 
@@ -132,7 +242,264 @@ void BM_BankStateMachineApply(benchmark::State& state) {
 }
 BENCHMARK(BM_BankStateMachineApply);
 
+// --------------------------------------------------------------------------
+// Kernel hot-path suite (--json mode): chrono-timed, allocation-counted.
+// --------------------------------------------------------------------------
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ns(Clock::time_point t0) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0).count());
+}
+
+struct KernelRow {
+  std::string name;
+  std::uint64_t events = 0;
+  double wall_ns = 0;
+  std::uint64_t allocs = 0;
+  std::uint64_t frees = 0;
+
+  double ns_per_event() const {
+    return events ? wall_ns / static_cast<double>(events) : 0.0;
+  }
+  double events_per_sec() const {
+    return wall_ns > 0 ? static_cast<double>(events) * 1e9 / wall_ns : 0.0;
+  }
+  double allocs_per_event() const {
+    return events ? static_cast<double>(allocs) / static_cast<double>(events) : 0.0;
+  }
+};
+
+/// N self-rescheduling timers on a long-lived engine: the state a long
+/// simulation run spends nearly all its wall time in. Steady state must be
+/// allocation-free: nodes come from the free list, captures fit inline.
+KernelRow kernel_engine_steady(const std::string& name, int timers, long long events) {
+  sim::Engine engine;
+  long long fired = 0;
+  const long long warmup = 100000;
+  const long long stop = warmup + events;
+  struct Tick {
+    sim::Engine* engine;
+    long long* fired;
+    long long stop;
+    void operator()() const {
+      if (++*fired < stop) engine->schedule_after(10, Tick{*this});
+    }
+  };
+  for (int i = 0; i < timers; ++i) {
+    engine.schedule_after(i % 50, Tick{&engine, &fired, stop});
+  }
+  while (fired < warmup && engine.step()) {
+  }
+  const long long fired_before = fired;
+  const AllocSnapshot a0 = alloc_snapshot();
+  const auto t0 = Clock::now();
+  engine.run();
+  const double wall = elapsed_ns(t0);
+  const AllocSnapshot a1 = alloc_snapshot();
+  return {name, static_cast<std::uint64_t>(fired - fired_before), wall, a1.allocs - a0.allocs,
+          a1.frees - a0.frees};
+}
+
+/// Fresh engine + 1000 one-shot timers per round (the BM_EngineScheduleAndRun
+/// shape): measures construction and pool/chunk growth on top of dispatch.
+KernelRow kernel_engine_cold(long long rounds) {
+  long long fired = 0;
+  const AllocSnapshot a0 = alloc_snapshot();
+  const auto t0 = Clock::now();
+  for (long long r = 0; r < rounds; ++r) {
+    sim::Engine engine;
+    for (int i = 0; i < 1000; ++i) {
+      engine.schedule_at(i, [&fired] { ++fired; });
+    }
+    engine.run();
+  }
+  const double wall = elapsed_ns(t0);
+  const AllocSnapshot a1 = alloc_snapshot();
+  return {"engine_cold_start_1000", static_cast<std::uint64_t>(fired), wall,
+          a1.allocs - a0.allocs, a1.frees - a0.frees};
+}
+
+/// Schedule+cancel churn against a window of armed timeouts — the failure-
+/// detector pattern. Exercises O(1) cancel and wheel compaction; queue depth
+/// and pool size must stay bounded by the window, not by total churn.
+KernelRow kernel_engine_cancel_churn(long long pairs, std::size_t* max_depth,
+                                     std::size_t* max_pool) {
+  sim::Engine engine;
+  const int window = 1024;
+  long long sink = 0;
+  std::vector<sim::TimerId> ids(window);
+  for (int i = 0; i < window; ++i) {
+    ids[static_cast<std::size_t>(i)] =
+        engine.schedule_after(1000000 + i, [&sink] { ++sink; });
+  }
+  *max_depth = 0;
+  *max_pool = 0;
+  const AllocSnapshot a0 = alloc_snapshot();
+  const auto t0 = Clock::now();
+  for (long long i = 0; i < pairs; ++i) {
+    const auto j = static_cast<std::size_t>(i) % window;
+    engine.cancel(ids[j]);
+    ids[j] = engine.schedule_after(1000000 + static_cast<Duration>(j), [&sink] { ++sink; });
+    if ((i & 0xffff) == 0) {
+      *max_depth = std::max(*max_depth, engine.queue_depth());
+      *max_pool = std::max(*max_pool, engine.pool_size());
+    }
+  }
+  const double wall = elapsed_ns(t0);
+  const AllocSnapshot a1 = alloc_snapshot();
+  *max_depth = std::max(*max_depth, engine.queue_depth());
+  *max_pool = std::max(*max_pool, engine.pool_size());
+  return {"engine_cancel_churn", static_cast<std::uint64_t>(pairs), wall, a1.allocs - a0.allocs,
+          a1.frees - a0.frees};
+}
+
+/// 16-destination multicast of a 64-byte payload through sim::Network: the
+/// datagram is built and refcounted once, deliveries share the bytes.
+KernelRow kernel_network_fanout(long long multicasts) {
+  sim::Engine engine;
+  sim::Network net(engine, 17, sim::LinkModel{}, 1);
+  long long received = 0;
+  std::vector<ProcessId> dests;
+  for (ProcessId p = 1; p <= 16; ++p) {
+    dests.push_back(p);
+    net.set_handler(p, [&received](ProcessId, const Bytes& b) {
+      received += static_cast<long long>(!b.empty());
+    });
+  }
+  const Bytes bytes(64, 0xab);
+  // Warmup: let slot lists, node pool and rng reach steady state.
+  for (int i = 0; i < 2000; ++i) {
+    net.multicast(0, dests, Payload(bytes));
+    if ((i & 63) == 0) engine.run();
+  }
+  engine.run();
+  const long long received_before = received;
+  const AllocSnapshot a0 = alloc_snapshot();
+  const auto t0 = Clock::now();
+  for (long long i = 0; i < multicasts; ++i) {
+    net.multicast(0, dests, Payload(bytes));
+    if ((i & 63) == 0) engine.run();
+  }
+  engine.run();
+  const double wall = elapsed_ns(t0);
+  const AllocSnapshot a1 = alloc_snapshot();
+  return {"network_fanout_16", static_cast<std::uint64_t>(received - received_before), wall,
+          a1.allocs - a0.allocs, a1.frees - a0.frees};
+}
+
+/// Event construction + two layer-traversal copies + attribute round trip:
+/// the per-hop cost of the kernel's event representation. Copies share the
+/// payload and keep attributes inline, so the loop is allocation-free.
+KernelRow kernel_event_route(long long events) {
+  const kernel::AttrId seq_attr = kernel::intern_attr("bench.seq");
+  const Payload payload(Bytes(64, 0xcd));
+  std::int64_t sum = 0;
+  const AllocSnapshot a0 = alloc_snapshot();
+  const auto t0 = Clock::now();
+  for (long long i = 0; i < events; ++i) {
+    kernel::Event event = kernel::Event::deliver_from(1, payload);
+    event.attrs[seq_attr] = i;
+    kernel::Event hop1 = event;
+    kernel::Event hop2 = hop1;
+    sum += hop2.attrs.get_or(seq_attr, 0) + static_cast<std::int64_t>(hop2.payload.size());
+    benchmark::DoNotOptimize(sum);
+  }
+  const double wall = elapsed_ns(t0);
+  const AllocSnapshot a1 = alloc_snapshot();
+  return {"event_route_3hop", static_cast<std::uint64_t>(events), wall, a1.allocs - a0.allocs,
+          a1.frees - a0.frees};
+}
+
+int run_kernel_suite(const std::string& json_path) {
+  bench::banner("E7-kernel — engine/event hot-path microbenchmarks",
+                "Wall-clock cost per event with exact allocation counts "
+                "(counting operator new/delete). See DESIGN.md, \"Kernel "
+                "performance model\".");
+
+  std::size_t churn_depth = 0;
+  std::size_t churn_pool = 0;
+  std::vector<KernelRow> rows;
+  rows.push_back(kernel_engine_steady("engine_steady_64", 64, 8000000));
+  rows.push_back(kernel_engine_steady("engine_steady_1024", 1024, 8000000));
+  rows.push_back(kernel_engine_cold(3000));
+  rows.push_back(kernel_engine_cancel_churn(2000000, &churn_depth, &churn_pool));
+  rows.push_back(kernel_network_fanout(200000));
+  rows.push_back(kernel_event_route(5000000));
+
+  const bool steady_zero_alloc = rows[0].allocs == 0 && rows[1].allocs == 0;
+  const bool churn_bounded = churn_depth <= 4096 && churn_pool <= 8192;
+
+  bench::Table table({"benchmark", "events", "ns/event", "events/sec", "allocs/event"});
+  for (const KernelRow& r : rows) {
+    table.add_row({r.name, bench::fmt_int(static_cast<std::int64_t>(r.events)),
+                   bench::fmt_double(r.ns_per_event(), 1),
+                   bench::fmt_double(r.events_per_sec() / 1e6, 2) + "M",
+                   bench::fmt_double(r.allocs_per_event(), 4)});
+  }
+  table.print();
+  std::printf("\n  cancel churn: max queue depth %zu, max pool %zu (window 1024)\n",
+              churn_depth, churn_pool);
+  std::printf("  steady-state zero-alloc: %s\n", steady_zero_alloc ? "PASS" : "FAIL");
+  std::printf("  churn bounded: %s\n", churn_bounded ? "PASS" : "FAIL");
+
+  std::FILE* out = std::fopen(json_path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"suite\": \"kernel\",\n  \"schema\": 1,\n  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const KernelRow& r = rows[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"events\": %llu, \"wall_ns\": %s, "
+                 "\"ns_per_event\": %s, \"events_per_sec\": %s, \"allocs\": %llu, "
+                 "\"frees\": %llu, \"allocs_per_event\": %s}%s\n",
+                 bench::json_escape(r.name).c_str(),
+                 static_cast<unsigned long long>(r.events), bench::json_num(r.wall_ns).c_str(),
+                 bench::json_num(r.ns_per_event()).c_str(),
+                 bench::json_num(r.events_per_sec()).c_str(),
+                 static_cast<unsigned long long>(r.allocs),
+                 static_cast<unsigned long long>(r.frees),
+                 bench::json_num(r.allocs_per_event()).c_str(),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "  ],\n  \"checks\": {\n    \"steady_state_zero_alloc\": %s,\n"
+               "    \"cancel_churn_bounded\": %s,\n    \"churn_max_queue_depth\": %zu,\n"
+               "    \"churn_max_pool\": %zu\n  }\n}\n",
+               steady_zero_alloc ? "true" : "false", churn_bounded ? "true" : "false",
+               churn_depth, churn_pool);
+  std::fclose(out);
+  std::printf("\n  wrote %s\n", json_path.c_str());
+  return steady_zero_alloc && churn_bounded ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace gcs
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool json_mode = false;
+  std::vector<char*> gbench_args;
+  gbench_args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_mode = true;
+      json_path = "BENCH_kernel.json";
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_mode = true;
+      json_path = argv[i] + 7;
+    } else {
+      gbench_args.push_back(argv[i]);
+    }
+  }
+  if (json_mode) return gcs::run_kernel_suite(json_path);
+  int gargc = static_cast<int>(gbench_args.size());
+  benchmark::Initialize(&gargc, gbench_args.data());
+  if (benchmark::ReportUnrecognizedArguments(gargc, gbench_args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -88,4 +88,38 @@ inline void banner(const std::string& title, const std::string& subtitle) {
   std::printf("\n=== %s ===\n%s\n\n", title.c_str(), subtitle.c_str());
 }
 
+/// Escape a string for embedding in a JSON document (BENCH_*.json reports).
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Format a double for JSON: fixed with enough digits for ns-scale values,
+/// trailing zeros trimmed.
+inline std::string json_num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  std::string s = buf;
+  while (s.size() > 1 && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s;
+}
+
 }  // namespace gcs::bench

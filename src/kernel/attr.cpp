@@ -1,0 +1,83 @@
+#include "kernel/attr.hpp"
+
+#include <cassert>
+#include <map>
+#include <string>
+
+namespace gcs::kernel {
+
+namespace {
+
+struct Registry {
+  // std::less<> enables string_view lookups without constructing a string.
+  std::map<std::string, AttrId, std::less<>> ids;
+  std::vector<std::string_view> names;  // views into the map's stable keys
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace
+
+AttrId intern_attr(std::string_view name) {
+  Registry& r = registry();
+  if (auto it = r.ids.find(name); it != r.ids.end()) return it->second;
+  assert(r.names.size() < kNoAttr);
+  const auto id = static_cast<AttrId>(r.names.size());
+  auto [it, inserted] = r.ids.emplace(std::string(name), id);
+  (void)inserted;
+  r.names.push_back(it->first);
+  return id;
+}
+
+AttrId find_attr(std::string_view name) {
+  Registry& r = registry();
+  auto it = r.ids.find(name);
+  return it == r.ids.end() ? kNoAttr : it->second;
+}
+
+std::string_view attr_name(AttrId id) {
+  Registry& r = registry();
+  return id < r.names.size() ? r.names[id] : std::string_view{};
+}
+
+std::int64_t AttrSet::at(AttrId id) const {
+  const std::int64_t* v = find(id);
+  assert(v != nullptr && "AttrSet::at: attribute not present");
+  return v != nullptr ? *v : 0;
+}
+
+const std::int64_t* AttrSet::find(AttrId id) const {
+  for (std::size_t i = 0; i < count_; ++i) {
+    if (ids_[i] == id) return &values_[i];
+  }
+  if (spill_) {
+    for (const auto& [sid, value] : *spill_) {
+      if (sid == id) return &value;
+    }
+  }
+  return nullptr;
+}
+
+std::int64_t& AttrSet::insert(AttrId id) {
+  if (count_ < kInlineCapacity) {
+    ids_[count_] = id;
+    values_[count_] = 0;
+    return values_[count_++];
+  }
+  if (!spill_) spill_ = std::make_unique<std::vector<std::pair<AttrId, std::int64_t>>>();
+  return spill_->emplace_back(id, 0).second;
+}
+
+void AttrSet::copy_from(const AttrSet& other) {
+  ids_ = other.ids_;
+  values_ = other.values_;
+  count_ = other.count_;
+  spill_ = other.spill_
+               ? std::make_unique<std::vector<std::pair<AttrId, std::int64_t>>>(*other.spill_)
+               : nullptr;
+}
+
+}  // namespace gcs::kernel

@@ -1,0 +1,102 @@
+/// \file attr.hpp
+/// Interned event attributes for the composition kernel.
+///
+/// Events used to annotate each other through a std::map<std::string,
+/// int64>, which cost a red-black-tree node allocation plus string compares
+/// per attribute per event. Attribute *names* are now interned once into
+/// small dense AttrIds, and each event carries a flat inline array keyed by
+/// id — reading or writing an attribute on the hot path is a handful of
+/// integer compares and no allocation.
+///
+/// Layers cache their ids (e.g. attr_fifo_seq() in layers.hpp); tests and
+/// tools may keep using string keys, which intern on the fly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gcs::kernel {
+
+/// Dense id of an interned attribute name.
+using AttrId = std::uint16_t;
+
+/// Sentinel: name not interned (returned by find_attr for unknown names).
+inline constexpr AttrId kNoAttr = 0xffff;
+
+/// Intern \p name, returning its stable id (idempotent).
+AttrId intern_attr(std::string_view name);
+
+/// Lookup without interning; kNoAttr if the name was never interned.
+AttrId find_attr(std::string_view name);
+
+/// Reverse lookup (diagnostics, trace dumps).
+std::string_view attr_name(AttrId id);
+
+/// Flat attribute set: inline (id, value) pairs with linear search. Events
+/// in this codebase carry at most a couple of attributes, so linear beats
+/// any tree or hash both in time and in locality; the rare overflow past
+/// the inline capacity spills to a heap vector rather than failing.
+///
+/// Mirrors the fragment of the std::map API the old call sites used
+/// (operator[], count, at) with both AttrId and string keys.
+class AttrSet {
+ public:
+  static constexpr std::size_t kInlineCapacity = 8;
+
+  AttrSet() = default;
+  AttrSet(const AttrSet& other) { copy_from(other); }
+  AttrSet& operator=(const AttrSet& other) {
+    if (this != &other) copy_from(other);
+    return *this;
+  }
+  AttrSet(AttrSet&&) noexcept = default;
+  AttrSet& operator=(AttrSet&&) noexcept = default;
+
+  std::int64_t& operator[](AttrId id) {
+    if (std::int64_t* v = find(id)) return *v;
+    return insert(id);
+  }
+  std::int64_t& operator[](std::string_view name) { return (*this)[intern_attr(name)]; }
+
+  std::size_t count(AttrId id) const { return find(id) != nullptr ? 1 : 0; }
+  std::size_t count(std::string_view name) const {
+    const AttrId id = find_attr(name);
+    return id == kNoAttr ? 0 : count(id);
+  }
+
+  bool contains(AttrId id) const { return find(id) != nullptr; }
+
+  /// Value of a present attribute (callers check with count/contains first,
+  /// exactly like the old std::map::at contract).
+  std::int64_t at(AttrId id) const;
+  std::int64_t at(std::string_view name) const { return at(find_attr(name)); }
+
+  std::int64_t get_or(AttrId id, std::int64_t fallback) const {
+    const std::int64_t* v = find(id);
+    return v != nullptr ? *v : fallback;
+  }
+
+  void set(AttrId id, std::int64_t value) { (*this)[id] = value; }
+
+  std::size_t size() const { return count_ + (spill_ ? spill_->size() : 0); }
+  bool empty() const { return size() == 0; }
+
+ private:
+  const std::int64_t* find(AttrId id) const;
+  std::int64_t* find(AttrId id) {
+    return const_cast<std::int64_t*>(static_cast<const AttrSet*>(this)->find(id));
+  }
+  std::int64_t& insert(AttrId id);
+  void copy_from(const AttrSet& other);
+
+  std::array<AttrId, kInlineCapacity> ids_{};
+  std::array<std::int64_t, kInlineCapacity> values_{};
+  std::uint8_t count_ = 0;
+  std::unique_ptr<std::vector<std::pair<AttrId, std::int64_t>>> spill_;
+};
+
+}  // namespace gcs::kernel

@@ -5,20 +5,24 @@
 /// (Appia and Cactus): protocol code lives in layers, and *events* are
 /// routed up and down a stack of layers. This kernel reproduces that
 /// programming model: an Event carries a kind, a direction of travel, a
-/// payload and a small attribute map; layers subscribe to kinds and may
+/// payload and a small attribute set; layers subscribe to kinds and may
 /// consume, forward, redirect (bounce) or emit events.
 ///
 /// The bounce pattern is Ensemble's (paper §2.2): the `stable` component
 /// sends a stability event DOWN the stack; at the bottom it bounces and
 /// travels UP through every component, which reads the notification on the
 /// way. Direction is a property of the event, not of the layer graph.
+///
+/// Hot-path representation (see DESIGN.md, "Kernel performance model"):
+/// attributes are a flat inline array keyed by interned ids (attr.hpp)
+/// and the payload is a shared immutable buffer (gcs::Payload), so copying
+/// an event between layers or fanning it out to many destinations never
+/// copies payload bytes and never allocates for attributes.
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <memory>
-#include <string>
 
+#include "kernel/attr.hpp"
 #include "util/types.hpp"
 
 namespace gcs::kernel {
@@ -38,11 +42,12 @@ struct Event {
   Direction direction = Direction::kDown;
   /// Peer process: destination for down-traffic, source for up-traffic.
   ProcessId peer = kNoProcess;
-  Bytes payload;
-  /// Free-form attributes layers use to annotate events for each other.
-  std::map<std::string, std::int64_t> attrs;
+  /// Shared immutable payload; copying the event bumps a refcount only.
+  Payload payload;
+  /// Attributes layers use to annotate events for each other.
+  AttrSet attrs;
 
-  static Event send_to(ProcessId to, Bytes payload) {
+  static Event send_to(ProcessId to, Payload payload) {
     Event e;
     e.kind = kSendEvent;
     e.direction = Direction::kDown;
@@ -50,7 +55,7 @@ struct Event {
     e.payload = std::move(payload);
     return e;
   }
-  static Event deliver_from(ProcessId from, Bytes payload) {
+  static Event deliver_from(ProcessId from, Payload payload) {
     Event e;
     e.kind = kDeliverEvent;
     e.direction = Direction::kUp;

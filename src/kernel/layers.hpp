@@ -16,6 +16,17 @@ namespace gcs::kernel {
 inline constexpr EventKind kStabilityEvent = kFirstUserKind + 0;  ///< bounced notification
 inline constexpr EventKind kProbeTick = kFirstUserKind + 1;       ///< drives the stable layer
 
+/// Interned attribute ids these layers stamp on events; cached so the hot
+/// path never touches the string registry.
+inline AttrId attr_fifo_seq() {
+  static const AttrId id = intern_attr("fifo.seq");
+  return id;
+}
+inline AttrId attr_stable_count() {
+  static const AttrId id = intern_attr("stable.count");
+  return id;
+}
+
 /// Records every event it sees: (layer position is implied by where you
 /// insert it). For tests and stack traces.
 class TraceLayer final : public Layer {
@@ -55,10 +66,10 @@ class FifoLayer final : public Layer {
 
   Verdict handle(Event& event, ProtocolStack& stack) override {
     if (event.direction == Direction::kDown) {
-      event.attrs["fifo.seq"] = static_cast<std::int64_t>(next_out_[event.peer]++);
+      event.attrs[attr_fifo_seq()] = static_cast<std::int64_t>(next_out_[event.peer]++);
       return Verdict::kForward;
     }
-    const auto seq = event.attrs.count("fifo.seq") ? event.attrs.at("fifo.seq") : -1;
+    const auto seq = event.attrs.get_or(attr_fifo_seq(), -1);
     if (seq < 0) return Verdict::kForward;  // unstamped: pass through
     auto& expected = next_in_[event.peer];
     if (seq < expected) return Verdict::kConsume;  // duplicate of delivered
@@ -111,9 +122,7 @@ class BufferLayer final : public Layer {
     if (event.kind == kStabilityEvent) {
       if (event.direction == Direction::kUp) {
         // The bounced notification, on its way up: prune.
-        const auto stable = event.attrs.count("stable.count")
-                                ? event.attrs.at("stable.count")
-                                : 0;
+        const auto stable = event.attrs.get_or(attr_stable_count(), 0);
         while (!buffered_.empty() && pruned_ < stable) {
           buffered_.pop_front();
           ++pruned_;
@@ -131,7 +140,7 @@ class BufferLayer final : public Layer {
   bool saw_up_notification() const { return saw_up_notification_; }
 
  private:
-  std::deque<Bytes> buffered_;
+  std::deque<Payload> buffered_;  // shared buffers: buffering copies no bytes
   std::int64_t pruned_ = 0;
   bool saw_down_notification_ = false;
   bool saw_up_notification_ = false;
@@ -158,7 +167,7 @@ class StableLayer final : public Layer {
     Event note;
     note.kind = kStabilityEvent;
     note.direction = Direction::kDown;
-    note.attrs["stable.count"] = sends_seen_;
+    note.attrs[attr_stable_count()] = sends_seen_;
     stack.emit(std::move(note), self_index_);
     return Verdict::kConsume;
   }

@@ -3,7 +3,8 @@
 namespace gcs::kernel {
 
 std::size_t ProtocolStack::push_layer(std::unique_ptr<Layer> layer) {
-  subs_.push_back(layer->subscriptions());
+  const std::set<EventKind> kinds = layer->subscriptions();
+  subs_.emplace_back(kinds.begin(), kinds.end());  // set iteration is sorted
   layers_.push_back(std::move(layer));
   return layers_.size() - 1;
 }
@@ -29,12 +30,13 @@ void ProtocolStack::emit(Event event, std::size_t from_layer) {
 void ProtocolStack::drain() {
   if (draining_) return;  // run-to-completion: the outermost call drains
   draining_ = true;
-  while (!queue_.empty()) {
-    Pending pending = std::move(queue_.front());
-    queue_.pop_front();
+  while (queue_head_ < queue_.size()) {
+    Pending pending = std::move(queue_[queue_head_++]);
     if (pending.cursor == -2) pending.cursor = entry_cursor(pending.event);
     route(std::move(pending));
   }
+  queue_.clear();
+  queue_head_ = 0;
   draining_ = false;
 }
 
@@ -62,7 +64,7 @@ void ProtocolStack::route(Pending pending) {
       return;
     }
     const auto idx = static_cast<std::size_t>(cursor);
-    if (subs_[idx].count(event.kind)) {
+    if (subscribed(idx, event.kind)) {
       const Verdict verdict = layers_[idx]->handle(event, *this);
       if (verdict == Verdict::kConsume) return;
     }

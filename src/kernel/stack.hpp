@@ -16,7 +16,6 @@
 ///     the top hook).
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -64,12 +63,25 @@ class ProtocolStack {
   void route(Pending pending);
   void drain();
   std::ptrdiff_t entry_cursor(const Event& event) const;
+  bool subscribed(std::size_t layer, EventKind kind) const {
+    // Sorted flat vector: layers subscribe to a handful of kinds, so this
+    // beats a tree walk per (layer, event) on the routing hot path.
+    const auto& subs = subs_[layer];
+    for (EventKind k : subs) {
+      if (k >= kind) return k == kind;
+    }
+    return false;
+  }
 
   std::vector<std::unique_ptr<Layer>> layers_;
-  std::vector<std::set<EventKind>> subs_;
+  std::vector<std::vector<EventKind>> subs_;  // each sorted ascending
   EdgeHook bottom_hook_;
   EdgeHook top_hook_;
-  std::deque<Pending> queue_;
+  // FIFO of queued events. Run-to-completion drains it to empty, at which
+  // point the storage is recycled: a vector + head cursor gives zero
+  // steady-state allocations where a deque keeps paging chunks.
+  std::vector<Pending> queue_;
+  std::size_t queue_head_ = 0;
   bool draining_ = false;
   std::uint64_t events_routed_ = 0;
 };

@@ -31,13 +31,15 @@ class Context {
   Engine& engine() { return engine_; }
 
   /// Schedule \p fn after \p delay; suppressed if the process crashes first.
-  TimerId after(Duration delay, std::function<void()> fn) {
-    return engine_.schedule_after(delay, guard(std::move(fn)));
+  /// The liveness flag rides along as the engine's gate, so no wrapper
+  /// closure (and no allocation) is needed per timer.
+  TimerId after(Duration delay, Engine::Callback fn) {
+    return engine_.schedule_after(delay, std::move(fn), alive_);
   }
 
   /// Schedule \p fn at absolute time \p at; suppressed on crash.
-  TimerId at(TimePoint at, std::function<void()> fn) {
-    return engine_.schedule_at(at, guard(std::move(fn)));
+  TimerId at(TimePoint at, Engine::Callback fn) {
+    return engine_.schedule_at(at, std::move(fn), alive_);
   }
 
   void cancel(TimerId id) { engine_.cancel(id); }
@@ -55,12 +57,6 @@ class Context {
   std::shared_ptr<Metrics> metrics_ptr() { return metrics_; }
 
  private:
-  std::function<void()> guard(std::function<void()> fn) {
-    return [alive = alive_, fn = std::move(fn)]() {
-      if (*alive) fn();
-    };
-  }
-
   ProcessId self_;
   Engine& engine_;
   Rng rng_;

@@ -1,27 +1,194 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
 namespace gcs::sim {
 
-TimerId Engine::schedule_at(TimePoint at, std::function<void()> fn) {
+TimerId Engine::schedule_impl(TimePoint at, Callback&& fn, Gate&& gate) {
   if (at < now_) at = now_;
-  const TimerId id = next_id_++;
-  queue_.push(QueueEntry{at, id});
-  handlers_.emplace(id, std::move(fn));
-  return id;
+  const std::uint32_t idx = acquire_node();
+  Node& node = node_at(idx);
+  node.fn = std::move(fn);
+  node.gate = std::move(gate);
+  node.at = at;
+  node.armed = true;
+  place(idx);
+  ++live_;
+  return (static_cast<TimerId>(node.gen) << 32) | idx;
 }
 
-bool Engine::step() {
-  while (!queue_.empty()) {
-    const QueueEntry entry = queue_.top();
-    queue_.pop();
-    auto it = handlers_.find(entry.id);
-    if (it == handlers_.end()) continue;  // cancelled
-    // Move the handler out before erasing: the handler may schedule/cancel.
-    std::function<void()> fn = std::move(it->second);
-    handlers_.erase(it);
-    now_ = entry.at;
+std::uint32_t Engine::acquire_node() {
+  if (free_head_ != kNil) {
+    const std::uint32_t idx = free_head_;
+    free_head_ = node_at(idx).next;
+    return idx;
+  }
+  assert(pool_count_ < kNil);
+  if (pool_count_ == pool_.size() * kChunkSize) {
+    pool_.push_back(std::make_unique<Node[]>(kChunkSize));
+  }
+  return pool_count_++;
+}
+
+void Engine::free_node(std::uint32_t idx) {
+  node_at(idx).next = free_head_;
+  free_head_ = idx;
+}
+
+void Engine::cancel(TimerId id) {
+  const auto idx = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (idx >= pool_count_) return;
+  Node& node = node_at(idx);
+  if (!node.armed || node.gen != gen) return;  // fired, cancelled or recycled
+  // The callback (and whatever it captured) dies now; the disarmed node
+  // stays linked in its wheel slot until the slot drains or compaction
+  // collects it.
+  node.fn.reset();
+  node.gate.reset();
+  node.armed = false;
+  ++node.gen;  // invalidates the id
+  --live_;
+  ++stale_;
+  // Keep cancelled nodes a minority of the wheel so cancel-heavy runs
+  // (chaos tests scheduling/cancelling millions of timeouts) stay bounded.
+  const std::size_t total = live_ + stale_;
+  if (total >= kCompactMin && stale_ * 2 > total) compact();
+}
+
+/// Append a node to the wheel slot of the highest base-64 digit in which
+/// its deadline differs from now_ (the Varghese/Lauck hierarchical scheme,
+/// indexed by XOR). Requires node.at >= now_.
+void Engine::place(std::uint32_t idx) {
+  Node& node = node_at(idx);
+  node.next = kNil;
+  const std::uint64_t diff =
+      static_cast<std::uint64_t>(node.at) ^ static_cast<std::uint64_t>(now_);
+  const int level =
+      diff == 0 ? 0 : (63 - std::countl_zero(diff)) / static_cast<int>(kSlotBits);
+  Slot* slot;
+  if (level >= kLevels) {
+    slot = &overflow_;
+  } else {
+    const auto s = static_cast<unsigned>(
+        (static_cast<std::uint64_t>(node.at) >> (kSlotBits * static_cast<unsigned>(level))) &
+        kSlotMask);
+    slot = &wheel_[static_cast<std::size_t>(level)][s];
+    occupied_[static_cast<std::size_t>(level)] |= 1ull << s;
+  }
+  if (slot->tail == kNil) {
+    slot->head = idx;
+  } else {
+    node_at(slot->tail).next = idx;
+  }
+  slot->tail = idx;
+}
+
+/// Advance now_ to the earliest pending node, cascading coarse slots down
+/// as their windows are entered. Returns true when the level-0 slot at
+/// now_ is non-empty and now_ <= limit; returns false (without moving
+/// now_ past limit) when the next node lies beyond limit or nothing is
+/// pending. Cascades and slot drains preserve list order, which is
+/// schedule order, so the (time, insertion-order) firing contract is
+/// structural — nothing here compares entries.
+bool Engine::position(TimePoint limit) {
+  for (;;) {
+    const auto unow = static_cast<std::uint64_t>(now_);
+    const auto slot0 = static_cast<unsigned>(unow & kSlotMask);
+    if (wheel_[0][slot0].head != kNil) return now_ <= limit;
+    occupied_[0] &= ~(1ull << slot0);
+    const std::uint64_t m0 = occupied_[0] & (~0ull << slot0);
+    if (m0) {
+      const auto t = static_cast<TimePoint>(
+          (unow & ~static_cast<std::uint64_t>(kSlotMask)) |
+          static_cast<std::uint64_t>(std::countr_zero(m0)));
+      if (t > limit) return false;
+      now_ = t;
+      continue;
+    }
+    bool cascaded = false;
+    for (int level = 1; level < kLevels; ++level) {
+      // Slots at the current digit or below are already drained; anything
+      // pending at this level sits strictly ahead of now_'s digit.
+      const auto digit = static_cast<unsigned>(
+          (unow >> (kSlotBits * static_cast<unsigned>(level))) & kSlotMask);
+      const std::uint64_t m =
+          digit == kSlotMask
+              ? 0
+              : occupied_[static_cast<std::size_t>(level)] & (~0ull << (digit + 1));
+      if (!m) continue;
+      const auto s = static_cast<unsigned>(std::countr_zero(m));
+      const unsigned shift = kSlotBits * static_cast<unsigned>(level);
+      const std::uint64_t window = (static_cast<std::uint64_t>(kSlotMask) + 1) << shift;
+      const auto t = static_cast<TimePoint>((unow & ~(window - 1)) |
+                                            (static_cast<std::uint64_t>(s) << shift));
+      if (t > limit) return false;
+      now_ = t;
+      // Entering the slot's window: redistribute its list one level down
+      // (the nodes now differ from now_ only in lower digits).
+      Slot src = wheel_[static_cast<std::size_t>(level)][s];
+      wheel_[static_cast<std::size_t>(level)][s] = Slot{};
+      occupied_[static_cast<std::size_t>(level)] &= ~(1ull << s);
+      for (std::uint32_t i = src.head; i != kNil;) {
+        const std::uint32_t next = node_at(i).next;
+        place(i);
+        i = next;
+      }
+      cascaded = true;
+      break;
+    }
+    if (cascaded) continue;
+    if (overflow_.head != kNil) {
+      TimePoint tmin = node_at(overflow_.head).at;
+      for (std::uint32_t i = overflow_.head; i != kNil; i = node_at(i).next) {
+        tmin = std::min(tmin, node_at(i).at);
+      }
+      if (tmin > limit) return false;
+      now_ = tmin;
+      const Slot distant = overflow_;
+      overflow_ = Slot{};
+      for (std::uint32_t i = distant.head; i != kNil;) {
+        const std::uint32_t next = node_at(i).next;
+        place(i);
+        i = next;
+      }
+      continue;
+    }
+    return false;
+  }
+}
+
+bool Engine::step_limited(TimePoint limit) {
+  while (live_ > 0) {
+    if (!position(limit)) return false;
+    Slot& slot = wheel_[0][static_cast<std::uint64_t>(now_) & kSlotMask];
+    const std::uint32_t idx = slot.head;
+    Node& node = node_at(idx);
+    slot.head = node.next;
+    if (slot.head == kNil) slot.tail = kNil;
+    if (!node.armed) {  // cancelled; callback died at cancel time
+      --stale_;
+      free_node(idx);
+      continue;
+    }
+    assert(node.at == now_);
+    // Disarm and bump the generation before invoking so the handler sees
+    // itself as no longer pending and cancel of its own id is a no-op.
+    // The callback runs in place — chunked storage keeps the node's
+    // address stable even if the handler schedules and grows the pool —
+    // and the node only joins the free list afterwards, so no schedule
+    // inside the handler can recycle the storage the running closure
+    // lives in.
+    node.armed = false;
+    ++node.gen;
+    --live_;
     ++executed_;
-    fn();
+    if (node.fn && (!node.gate || *node.gate)) node.fn();
+    node.fn.reset();
+    node.gate.reset();
+    free_node(idx);
     return true;
   }
   return false;
@@ -34,17 +201,47 @@ void Engine::run(std::uint64_t max_events) {
 }
 
 void Engine::run_until(TimePoint deadline) {
-  while (!queue_.empty()) {
-    // Skip over cancelled entries at the head without advancing time.
-    const QueueEntry entry = queue_.top();
-    if (handlers_.find(entry.id) == handlers_.end()) {
-      queue_.pop();
-      continue;
-    }
-    if (entry.at > deadline) break;
-    step();
+  while (step_limited(deadline)) {
   }
   if (now_ < deadline) now_ = deadline;
+}
+
+/// Unlink cancelled nodes from one slot list, preserving the order of the
+/// survivors.
+void Engine::compact_list(Slot& slot) {
+  std::uint32_t i = slot.head;
+  slot = Slot{};
+  while (i != kNil) {
+    const std::uint32_t next = node_at(i).next;
+    Node& node = node_at(i);
+    if (node.armed) {
+      node.next = kNil;
+      if (slot.tail == kNil) {
+        slot.head = i;
+      } else {
+        node_at(slot.tail).next = i;
+      }
+      slot.tail = i;
+    } else {
+      free_node(i);
+    }
+    i = next;
+  }
+}
+
+void Engine::compact() {
+  for (int level = 0; level < kLevels; ++level) {
+    std::uint64_t occ = 0;
+    for (unsigned s = 0; s <= kSlotMask; ++s) {
+      Slot& slot = wheel_[static_cast<std::size_t>(level)][s];
+      if (slot.head == kNil) continue;
+      compact_list(slot);
+      if (slot.head != kNil) occ |= 1ull << s;
+    }
+    occupied_[static_cast<std::size_t>(level)] = occ;
+  }
+  compact_list(overflow_);
+  stale_ = 0;
 }
 
 }  // namespace gcs::sim

@@ -4,25 +4,62 @@
 /// Events fire in (time, insertion-order) order, so two runs with the same
 /// seed produce identical traces. The engine knows nothing about processes
 /// or networks — it is a cancellable timer wheel over virtual time.
+///
+/// Hot-path design (see DESIGN.md, "Kernel performance model"):
+///   - timer callbacks live in pooled nodes with small-buffer-optimized
+///     storage (util::UniqueFunction), recycled through a free list and
+///     allocated in fixed-size chunks whose addresses never move, so a
+///     schedule/fire cycle performs zero heap allocations in steady state
+///     and callbacks are invoked in place;
+///   - the ready queue is an intrusive hierarchical timing wheel: 7
+///     levels of 64 slots at 64^level-microsecond granularity, each slot
+///     a (head, tail) pair threading a FIFO list through the nodes'
+///     `next` links, with one occupancy bitmap per level. Scheduling
+///     appends to the slot of the highest base-64 digit in which the
+///     deadline differs from now (O(1)); advancing virtual time scans
+///     bitmaps with countr_zero and cascades coarse slots down a level
+///     when it enters them. Appends happen in schedule order and
+///     cascades preserve list order, so FIFO slot order IS
+///     (time, insertion-order) order — the determinism tie-break costs
+///     nothing and no comparator exists at all;
+///   - TimerId packs (generation << 32 | slot), making cancel an O(1)
+///     generation check that frees the callback immediately; the dead
+///     node stays linked until its slot drains and is compacted away
+///     early if the dead outnumber the live, so cancel-heavy chaos runs
+///     stay bounded;
+///   - an optional "gate" (shared liveness flag) replaces the old
+///     allocating guard-lambda wrapper used by sim::Context.
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <functional>
 #include <limits>
-#include <queue>
-#include <unordered_map>
+#include <memory>
+#include <vector>
 
+#include "util/inline_function.hpp"
 #include "util/types.hpp"
 
 namespace gcs::sim {
 
 /// Handle for a scheduled event; used to cancel it.
+/// Packs (generation << 32) | pool slot; generations start at 1, so no
+/// valid id ever equals kNoTimer.
 using TimerId = std::uint64_t;
 
 inline constexpr TimerId kNoTimer = 0;
 
 class Engine {
  public:
+  /// Inline capture budget for timer callbacks. Large enough for every
+  /// hot-path lambda in the stack (network delivery captures ~32 bytes);
+  /// bigger captures transparently fall back to one boxed allocation.
+  static constexpr std::size_t kCallbackCapacity = 64;
+  using Callback = util::UniqueFunction<kCallbackCapacity>;
+  /// Optional liveness gate: when set and false at fire time, the event
+  /// still occupies its slot in virtual time but the callback is skipped.
+  using Gate = std::shared_ptr<const bool>;
+
   Engine() = default;
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -31,19 +68,29 @@ class Engine {
   TimePoint now() const { return now_; }
 
   /// Schedule \p fn at absolute virtual time \p at (clamped to now()).
-  TimerId schedule_at(TimePoint at, std::function<void()> fn);
-
-  /// Schedule \p fn \p delay from now.
-  TimerId schedule_after(Duration delay, std::function<void()> fn) {
-    return schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  TimerId schedule_at(TimePoint at, Callback fn) {
+    return schedule_impl(at, std::move(fn), Gate{});
+  }
+  TimerId schedule_at(TimePoint at, Callback fn, Gate gate) {
+    return schedule_impl(at, std::move(fn), std::move(gate));
   }
 
-  /// Cancel a scheduled event. Cancelling an already-fired or unknown id is
-  /// a no-op, so callers need not track lifetimes precisely.
-  void cancel(TimerId id) { handlers_.erase(id); }
+  /// Schedule \p fn \p delay from now.
+  TimerId schedule_after(Duration delay, Callback fn) {
+    return schedule_impl(now_ + (delay < 0 ? 0 : delay), std::move(fn), Gate{});
+  }
+  TimerId schedule_after(Duration delay, Callback fn, Gate gate) {
+    return schedule_impl(now_ + (delay < 0 ? 0 : delay), std::move(fn), std::move(gate));
+  }
+
+  /// Cancel a scheduled event in O(1). Cancelling an already-fired, stale
+  /// or unknown id is a no-op, so callers need not track lifetimes
+  /// precisely; the callback (and anything it captured) is destroyed
+  /// immediately.
+  void cancel(TimerId id);
 
   /// Run the single earliest event. Returns false if the queue is empty.
-  bool step();
+  bool step() { return step_limited(std::numeric_limits<TimePoint>::max()); }
 
   /// Run until the queue is empty or \p max_events were processed.
   void run(std::uint64_t max_events = std::numeric_limits<std::uint64_t>::max());
@@ -55,27 +102,74 @@ class Engine {
   void run_for(Duration d) { run_until(now_ + d); }
 
   /// Number of scheduled (uncancelled) events.
-  std::size_t pending() const { return handlers_.size(); }
+  std::size_t pending() const { return live_; }
+
+  /// Wheel entries including not-yet-compacted cancelled ones. Bounded by
+  /// 2x pending() + a small constant (compaction invariant); exposed for
+  /// the bounded-memory regression tests and diagnostics.
+  std::size_t queue_depth() const { return live_ + stale_; }
+
+  /// Size of the timer-node pool (high-water mark of concurrent timers).
+  std::size_t pool_size() const { return pool_count_; }
 
   /// Total number of events executed since construction.
   std::uint64_t executed() const { return executed_; }
 
  private:
-  struct QueueEntry {
-    TimePoint at;
-    TimerId id;
-    // Earliest time first; equal times fire in schedule order (id order).
-    bool operator>(const QueueEntry& o) const {
-      return at != o.at ? at > o.at : id > o.id;
-    }
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  /// Below this node count, lazy deletion is cheaper than compaction.
+  static constexpr std::size_t kCompactMin = 64;
+  static constexpr int kLevels = 7;        ///< 64^7 us ≈ 139 years of virtual time
+  static constexpr unsigned kSlotBits = 6; ///< 64 slots per level
+  static constexpr unsigned kSlotMask = 63;
+
+  struct Node {
+    Callback fn;
+    Gate gate;
+    TimePoint at = 0;            ///< absolute deadline while linked
+    std::uint32_t next = kNil;   ///< next in slot FIFO, or next free node
+    std::uint32_t gen = 1;       ///< bumped on fire/cancel; validates TimerIds
+    bool armed = false;          ///< scheduled and not yet fired/cancelled
   };
 
+  /// A wheel slot: FIFO list threaded through Node::next.
+  struct Slot {
+    std::uint32_t head = kNil;
+    std::uint32_t tail = kNil;
+  };
+
+  /// Nodes live in fixed-size chunks so their addresses never move: pool
+  /// growth is O(1) with no element relocation (UniqueFunction + Gate make
+  /// Node expensive to move), and a firing callback can be invoked in
+  /// place while the pool grows under it.
+  static constexpr unsigned kChunkBits = 6;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkBits;
+
+  TimerId schedule_impl(TimePoint at, Callback&& fn, Gate&& gate);
+  Node& node_at(std::uint32_t slot) {
+    return pool_[slot >> kChunkBits][slot & (kChunkSize - 1)];
+  }
+  const Node& node_at(std::uint32_t slot) const {
+    return pool_[slot >> kChunkBits][slot & (kChunkSize - 1)];
+  }
+  std::uint32_t acquire_node();
+  void free_node(std::uint32_t idx);
+  void place(std::uint32_t idx);
+  bool position(TimePoint limit);
+  bool step_limited(TimePoint limit);
+  void compact();
+  void compact_list(Slot& slot);
+
   TimePoint now_ = 0;
-  TimerId next_id_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
-  // Lazy deletion: cancelled ids are simply absent from this map.
-  std::unordered_map<TimerId, std::function<void()>> handlers_;
+  std::size_t live_ = 0;   ///< armed timers (pending())
+  std::size_t stale_ = 0;  ///< cancelled nodes still linked in the wheel
+  std::array<std::array<Slot, kSlotMask + 1>, kLevels> wheel_;
+  std::array<std::uint64_t, kLevels> occupied_{};  ///< per-level slot bitmaps
+  Slot overflow_;  ///< deadlines beyond the top level's horizon
+  std::vector<std::unique_ptr<Node[]>> pool_;  ///< stable-address node chunks
+  std::uint32_t pool_count_ = 0;
+  std::uint32_t free_head_ = kNil;
 };
 
 }  // namespace gcs::sim

@@ -17,11 +17,11 @@ void Network::set_handler(ProcessId p, Handler handler) {
   handlers_[static_cast<std::size_t>(p)] = std::move(handler);
 }
 
-void Network::send(ProcessId from, ProcessId to, Bytes payload) {
+void Network::send(ProcessId from, ProcessId to, Payload payload) {
   assert(from >= 0 && from < n_ && to >= 0 && to < n_);
   metrics_.inc("net.sent");
   metrics_.inc("net.bytes_sent", static_cast<std::int64_t>(payload.size()));
-  if (tap_) tap_(from, to, payload);
+  if (tap_) tap_(from, to, payload.bytes());
   if (crashed_[static_cast<std::size_t>(from)]) return;  // dead senders send nothing
   const LinkModel& m = link(from, to);
   if (m.drop_probability > 0.0 && rng_.chance(m.drop_probability)) {
@@ -29,6 +29,9 @@ void Network::send(ProcessId from, ProcessId to, Bytes payload) {
     return;
   }
   const Duration jitter = m.jitter > 0 ? rng_.next_range(0, m.jitter) : 0;
+  // The capture is ~32 bytes (payload is a shared buffer, not a copy), so
+  // it stays inside the engine's inline callback storage: no allocation
+  // per datagram in flight.
   engine_.schedule_after(m.base_delay + jitter,
                          [this, from, to, payload = std::move(payload)]() {
                            if (crashed_[static_cast<std::size_t>(to)]) return;
@@ -39,8 +42,13 @@ void Network::send(ProcessId from, ProcessId to, Bytes payload) {
                            auto& handler = handlers_[static_cast<std::size_t>(to)];
                            if (!handler) return;
                            metrics_.inc("net.delivered");
-                           handler(from, payload);
+                           handler(from, payload.bytes());
                          });
+}
+
+void Network::multicast(ProcessId from, const std::vector<ProcessId>& tos,
+                        const Payload& payload) {
+  for (ProcessId to : tos) send(from, to, payload);
 }
 
 void Network::crash(ProcessId p) {

@@ -44,8 +44,14 @@ class Network {
 
   /// Unreliable send. The message is delivered later (per the link model)
   /// unless dropped, the destination has crashed, or the two processes are
-  /// in different partitions *at delivery time*.
-  void send(ProcessId from, ProcessId to, Bytes payload);
+  /// in different partitions *at delivery time*. The payload buffer is
+  /// shared, never copied: callers fanning out one message to many
+  /// destinations pass the same Payload each time.
+  void send(ProcessId from, ProcessId to, Payload payload);
+
+  /// Fan-out convenience: one shared buffer, one send per destination (in
+  /// \p tos order, so traces are identical to an explicit send loop).
+  void multicast(ProcessId from, const std::vector<ProcessId>& tos, const Payload& payload);
 
   /// -- fault injection ------------------------------------------------
 

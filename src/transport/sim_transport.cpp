@@ -14,12 +14,24 @@ SimTransport::SimTransport(sim::Context& ctx, sim::Network& network)
   });
 }
 
+namespace {
+Payload make_datagram(Tag tag, const Bytes& payload) {
+  auto datagram = std::make_shared<Bytes>();
+  datagram->reserve(payload.size() + 1);
+  datagram->push_back(static_cast<std::uint8_t>(tag));
+  datagram->insert(datagram->end(), payload.begin(), payload.end());
+  return Payload(std::shared_ptr<const Bytes>(std::move(datagram)));
+}
+}  // namespace
+
 void SimTransport::u_send(ProcessId to, Tag tag, const Bytes& payload) {
-  Bytes datagram;
-  datagram.reserve(payload.size() + 1);
-  datagram.push_back(static_cast<std::uint8_t>(tag));
-  datagram.insert(datagram.end(), payload.begin(), payload.end());
-  network_.send(self_, to, std::move(datagram));
+  network_.send(self_, to, make_datagram(tag, payload));
+}
+
+void SimTransport::u_send_group(const std::vector<ProcessId>& group, Tag tag,
+                                const Bytes& payload) {
+  if (group.empty()) return;
+  network_.multicast(self_, group, make_datagram(tag, payload));
 }
 
 void SimTransport::subscribe(Tag tag, Handler handler) {

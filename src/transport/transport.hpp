@@ -55,8 +55,11 @@ class Transport {
   virtual void subscribe(Tag tag, Handler handler) = 0;
 
   /// Convenience: u_send to every process in \p group (including self if
-  /// listed; loopback has near-zero latency).
-  void u_send_group(const std::vector<ProcessId>& group, Tag tag, const Bytes& payload) {
+  /// listed; loopback has near-zero latency). Virtual so transports that
+  /// can share one wire buffer across the whole fan-out (SimTransport)
+  /// avoid re-encoding the datagram per destination.
+  virtual void u_send_group(const std::vector<ProcessId>& group, Tag tag,
+                            const Bytes& payload) {
     for (ProcessId p : group) u_send(p, tag, payload);
   }
 };

@@ -1,0 +1,105 @@
+/// \file inline_function.hpp
+/// UniqueFunction: a move-only `void()` callable with inline storage.
+///
+/// std::function heap-allocates any capture larger than ~2 words, which
+/// makes every scheduled timer an allocation. UniqueFunction keeps captures
+/// up to \p Capacity bytes inline (callables larger than that fall back to
+/// a single heap box), so pooled timer nodes can recycle callback storage
+/// with zero steady-state allocations.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace gcs::util {
+
+template <std::size_t Capacity>
+class UniqueFunction {
+ public:
+  UniqueFunction() = default;
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, UniqueFunction> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  UniqueFunction(F&& fn) {  // NOLINT: implicit by design, mirrors std::function
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(fn));
+      ops_ = &Vtable<D>::ops;
+    } else {
+      // Too big for the inline buffer: box it behind one allocation.
+      struct Box {
+        std::unique_ptr<D> fn;
+        void operator()() { (*fn)(); }
+      };
+      static_assert(fits_inline<Box>());
+      ::new (static_cast<void*>(buf_)) Box{std::make_unique<D>(std::forward<F>(fn))};
+      ops_ = &Vtable<Box>::ops;
+    }
+  }
+
+  UniqueFunction(UniqueFunction&& other) noexcept { move_from(other); }
+  UniqueFunction& operator=(UniqueFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+  ~UniqueFunction() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() {
+    assert(ops_ != nullptr);
+    ops_->invoke(buf_);
+  }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self);
+    void (*relocate)(void* dst, void* src);  // move-construct dst, destroy src
+    void (*destroy)(void* self);
+  };
+
+  template <typename D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= Capacity && alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D>
+  struct Vtable {
+    static void invoke(void* self) { (*static_cast<D*>(self))(); }
+    static void relocate(void* dst, void* src) {
+      ::new (dst) D(std::move(*static_cast<D*>(src)));
+      static_cast<D*>(src)->~D();
+    }
+    static void destroy(void* self) { static_cast<D*>(self)->~D(); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy};
+  };
+
+  void move_from(UniqueFunction& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(buf_, other.buf_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace gcs::util

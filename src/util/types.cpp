@@ -6,4 +6,9 @@ std::string to_string(const MsgId& id) {
   return std::to_string(id.sender) + ":" + std::to_string(id.seq);
 }
 
+const Bytes& Payload::empty_bytes() {
+  static const Bytes kEmpty;
+  return kEmpty;
+}
+
 }  // namespace gcs

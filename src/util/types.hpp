@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <compare>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,38 @@ inline constexpr ProcessId kNoProcess = -1;
 
 /// Raw payload bytes as they travel through the stack.
 using Bytes = std::vector<std::uint8_t>;
+
+/// Immutable, reference-counted payload buffer.
+///
+/// Multicast fan-out and layer traversal hand the same bytes to many
+/// destinations; copying a Bytes per hop/destination dominated the
+/// simulator's allocation profile. A Payload is one shared immutable
+/// buffer: copying it is a refcount bump, and an empty payload holds no
+/// allocation at all. It converts implicitly from Bytes (taking ownership)
+/// and to `const Bytes&` (viewing), so handler signatures keep using Bytes.
+class Payload {
+ public:
+  Payload() = default;
+  Payload(Bytes bytes)  // NOLINT: implicit by design
+      : data_(bytes.empty() ? nullptr
+                            : std::make_shared<const Bytes>(std::move(bytes))) {}
+  Payload(std::shared_ptr<const Bytes> bytes) : data_(std::move(bytes)) {}  // NOLINT
+
+  const Bytes& bytes() const { return data_ ? *data_ : empty_bytes(); }
+  operator const Bytes&() const { return bytes(); }  // NOLINT: view conversion
+
+  std::size_t size() const { return data_ ? data_->size() : 0; }
+  bool empty() const { return size() == 0; }
+
+  /// The underlying buffer (null when empty); identity comparisons in
+  /// tests use this to prove fan-out shares rather than copies.
+  const std::shared_ptr<const Bytes>& shared() const { return data_; }
+
+ private:
+  static const Bytes& empty_bytes();
+
+  std::shared_ptr<const Bytes> data_;
+};
 
 /// Virtual time in microseconds since simulation start.
 using TimePoint = std::int64_t;

@@ -3,7 +3,11 @@
 /// property that makes every other test in this suite trustworthy.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
+#include <string>
 
 #include "core/stack.hpp"
 #include "replication/lock_service.hpp"
@@ -54,6 +58,73 @@ std::string run_trace(std::uint64_t seed, StackConfig sc) {
   w.crash(3);
   w.run_for(sec(2));
   return trace;
+}
+
+/// FNV-1a over a string; used to reduce a whole run's metrics to one value.
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// E1-style failure-free atomic-broadcast workload reduced to a metrics
+/// hash: per-message delivery latencies at p0, every network/stack counter,
+/// and the engine's own counters (executed event count and final virtual
+/// time). Two runs with the same seed must produce the same hash — this is
+/// the regression net for the timer-wheel rewrite: any change in cascade
+/// or compaction order shows up in executed()/now()/latency totals.
+std::uint64_t run_metrics_hash(std::uint64_t seed) {
+  constexpr int kProcs = 4;
+  constexpr int kMessages = 100;
+  World::Config cfg;
+  cfg.n = kProcs;
+  cfg.seed = seed;
+  cfg.link.jitter = usec(200);
+  World w(cfg);
+  std::string digest;
+  std::map<MsgId, TimePoint> sent_time;
+  std::size_t delivered = 0;
+  w.stack(0).on_adeliver([&](const MsgId& id, const Bytes&) {
+    ++delivered;
+    auto it = sent_time.find(id);
+    const Duration lat = it == sent_time.end() ? -1 : w.engine().now() - it->second;
+    digest += "L" + std::to_string(lat) + ";";
+  });
+  w.found_group({0, 1, 2, 3});
+  int sent = 0;
+  std::function<void()> tick = [&] {
+    if (sent >= kMessages) return;
+    const ProcessId sender = static_cast<ProcessId>(sent % kProcs);
+    const MsgId id = w.stack(sender).abcast(test::bytes_of("m" + std::to_string(sent)));
+    sent_time[id] = w.engine().now();
+    ++sent;
+    w.engine().schedule_after(msec(2), tick);
+  };
+  w.engine().schedule_after(0, tick);
+  while (delivered < kMessages && w.engine().now() < sec(120)) {
+    if (!w.engine().step()) break;
+  }
+  w.run_for(msec(50));  // drain trailing protocol traffic
+  for (const auto& [name, value] : w.network().metrics().counters()) {
+    digest += name + "=" + std::to_string(value) + ";";
+  }
+  digest += "executed=" + std::to_string(w.engine().executed()) + ";";
+  digest += "now=" + std::to_string(w.engine().now()) + ";";
+  digest += "pending=" + std::to_string(w.engine().pending()) + ";";
+  digest += "delivered=" + std::to_string(delivered) + ";";
+  EXPECT_EQ(delivered, static_cast<std::size_t>(kMessages));
+  return fnv1a(digest);
+}
+
+TEST(Determinism, MetricsHashIsReproducible) {
+  EXPECT_EQ(run_metrics_hash(7), run_metrics_hash(7));
+}
+
+TEST(Determinism, MetricsHashDependsOnSeed) {
+  EXPECT_NE(run_metrics_hash(7), run_metrics_hash(8));
 }
 
 TEST(Determinism, IdenticalSeedsIdenticalTraces) {

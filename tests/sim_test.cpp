@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
+#include <iterator>
+#include <vector>
+
 #include "sim/context.hpp"
 #include "sim/engine.hpp"
 #include "sim/network.hpp"
@@ -105,6 +110,130 @@ TEST(Engine, MaxEventsBound) {
   eng.schedule_after(1, forever);
   eng.run(100);
   EXPECT_EQ(count, 100);
+}
+
+TEST(Engine, CancelledIdCannotTouchRecycledSlot) {
+  Engine eng;
+  int first = 0;
+  int second = 0;
+  const TimerId id = eng.schedule_after(10, [&first] { ++first; });
+  eng.cancel(id);
+  // The node is recycled for a new timer; the stale id must not cancel it.
+  const TimerId id2 = eng.schedule_after(10, [&second] { ++second; });
+  eng.cancel(id);  // no-op: generation mismatch
+  eng.run();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+  (void)id2;
+}
+
+TEST(Engine, CancelAfterFireIsNoop) {
+  Engine eng;
+  int fired = 0;
+  const TimerId id = eng.schedule_after(5, [&fired] { ++fired; });
+  eng.run();
+  EXPECT_EQ(fired, 1);
+  eng.cancel(id);  // already fired
+  // The slot is recycled; the old id must still be dead.
+  int later = 0;
+  eng.schedule_after(5, [&later] { ++later; });
+  eng.cancel(id);
+  eng.run();
+  EXPECT_EQ(later, 1);
+}
+
+TEST(Engine, SelfCancelInsideHandlerIsNoop) {
+  Engine eng;
+  int fired = 0;
+  TimerId id = kNoTimer;
+  id = eng.schedule_after(5, [&] {
+    ++fired;
+    eng.cancel(id);  // own id: already consumed, must not break anything
+    eng.schedule_after(5, [&fired] { ++fired; });
+  });
+  eng.run();
+  EXPECT_EQ(fired, 2);
+}
+
+// Regression for the lazy-deletion growth bug: a failure-detector-style
+// schedule/cancel storm must not accumulate cancelled entries. Compaction
+// keeps the queue within a small multiple of the live count, and the node
+// pool at its high-water mark, independent of total churn (1M timers).
+TEST(Engine, MassCancelKeepsMemoryBounded) {
+  Engine eng;
+  constexpr int kWindow = 256;
+  constexpr int kChurn = 1000000;
+  int fired = 0;
+  std::vector<TimerId> ids;
+  for (int i = 0; i < kWindow; ++i) {
+    ids.push_back(eng.schedule_after(1000000 + i, [&fired] { ++fired; }));
+  }
+  std::size_t max_depth = 0;
+  std::size_t max_pool = 0;
+  for (int i = 0; i < kChurn; ++i) {
+    const auto j = static_cast<std::size_t>(i % kWindow);
+    eng.cancel(ids[j]);
+    ids[j] = eng.schedule_after(1000000 + i % kWindow, [&fired] { ++fired; });
+    if (i % 4096 == 0) {
+      max_depth = std::max(max_depth, eng.queue_depth());
+      max_pool = std::max(max_pool, eng.pool_size());
+    }
+  }
+  max_depth = std::max(max_depth, eng.queue_depth());
+  max_pool = std::max(max_pool, eng.pool_size());
+  EXPECT_EQ(eng.pending(), static_cast<std::size_t>(kWindow));
+  // Compaction invariant: cancelled entries stay a minority of the queue.
+  EXPECT_LE(max_depth, static_cast<std::size_t>(2 * kWindow + 64));
+  // Pool never grows past live + lingering-cancelled high water.
+  EXPECT_LE(max_pool, static_cast<std::size_t>(2 * kWindow + 64));
+  eng.run();
+  EXPECT_EQ(fired, kWindow);
+  EXPECT_EQ(eng.pending(), 0u);
+}
+
+// Cancelling everything mid-flight (crashed process teardown) must leave
+// the engine consistent and reusable.
+TEST(Engine, CancelAllThenReuse) {
+  Engine eng;
+  std::vector<TimerId> ids;
+  int fired = 0;
+  for (int i = 0; i < 10000; ++i) {
+    ids.push_back(eng.schedule_after(i, [&fired] { ++fired; }));
+  }
+  for (const TimerId id : ids) eng.cancel(id);
+  EXPECT_EQ(eng.pending(), 0u);
+  eng.run();
+  EXPECT_EQ(fired, 0);
+  eng.schedule_after(1, [&fired] { ++fired; });
+  eng.run();
+  EXPECT_EQ(fired, 1);
+}
+
+// Deadlines spread across many orders of magnitude (microseconds to hours
+// of virtual time) must still fire in exact (time, schedule-order) order.
+TEST(Engine, WideHorizonFiresInOrder) {
+  Engine eng;
+  std::vector<std::int64_t> order;
+  const std::int64_t deadlines[] = {0,       1,         63,         64,        65,
+                                    4095,    4096,      262143,     262144,    16777215,
+                                    16777216, 1073741824, 68719476736, 4398046511104};
+  // Schedule in reverse so wheel level assignment can't accidentally match
+  // schedule order.
+  for (int i = static_cast<int>(std::size(deadlines)) - 1; i >= 0; --i) {
+    const std::int64_t at = deadlines[i];
+    eng.schedule_at(at, [&order, at] { order.push_back(at); });
+  }
+  // Duplicate deadline scheduled later must fire after the original.
+  eng.schedule_at(64, [&order] { order.push_back(-64); });
+  eng.run();
+  ASSERT_EQ(order.size(), std::size(deadlines) + 1);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end(),
+                             [](std::int64_t a, std::int64_t b) {
+                               return std::llabs(a) != std::llabs(b) ? std::llabs(a) < std::llabs(b)
+                                                                     : a > b;
+                             }));
+  EXPECT_EQ(order[3], 64);
+  EXPECT_EQ(order[4], -64);
 }
 
 TEST(Network, DeliversWithDelay) {
