@@ -9,7 +9,10 @@ namespace gcs {
 
 AtomicBroadcast::AtomicBroadcast(sim::Context& ctx, ReliableBroadcast& rbcast,
                                  ConsensusProtocol& consensus)
-    : ctx_(ctx), rbcast_(rbcast), consensus_(consensus), subscribers_(8) {
+    : ctx_(ctx), rbcast_(rbcast), consensus_(consensus),
+      m_broadcasts_(metric_id("abcast.broadcasts")),
+      m_delivered_(metric_id("abcast.delivered")),
+      h_order_latency_(metric_id("abcast.order_latency_us")), subscribers_(8) {
   rbcast_.on_deliver([this](const MsgId& id, const Bytes& b) { on_rdeliver(id, b); });
   consensus_.on_decide([this](std::uint64_t k, const Bytes& v) { on_decide(k, v); });
   // Garbage collection: once a message is stable (received by every
@@ -39,8 +42,10 @@ MsgId AtomicBroadcast::abcast(SubTag subtag, Bytes payload) {
   Encoder enc;
   enc.put_byte(subtag);
   enc.put_bytes(payload);
-  ctx_.metrics().inc("abcast.broadcasts");
-  return rbcast_.broadcast(enc.take());
+  ctx_.metrics().inc(m_broadcasts_);
+  const MsgId id = rbcast_.broadcast(enc.take());
+  ctx_.trace_instant(obs::Names::get().abcast_submit, id, subtag);
+  return id;
 }
 
 void AtomicBroadcast::subscribe(SubTag subtag, DeliverFn fn) {
@@ -97,7 +102,8 @@ void AtomicBroadcast::on_rdeliver(const MsgId& id, const Bytes& payload) {
   const SubTag subtag = dec.get_byte();
   Bytes body = dec.get_bytes();
   if (!dec.ok()) return;
-  pending_.emplace(id, Pending{subtag, std::move(body)});
+  pending_.emplace(id, Pending{subtag, std::move(body), ctx_.now()});
+  ctx_.trace_begin(obs::Names::get().abcast_pending, id, subtag);
   try_start_instance();
 }
 
@@ -152,9 +158,14 @@ void AtomicBroadcast::on_decide(std::uint64_t k, const Bytes& value) {
     instance_running_ = false;
     for (const Entry& e : entries) {
       if (!adelivered_.insert(e.id).second) continue;  // already ordered
-      pending_.erase(e.id);
+      if (auto pit = pending_.find(e.id); pit != pending_.end()) {
+        ctx_.metrics().observe(h_order_latency_, ctx_.now() - pit->second.since);
+        ctx_.trace_end(obs::Names::get().abcast_pending, e.id);
+        pending_.erase(pit);
+      }
       ++delivered_count_;
-      ctx_.metrics().inc("abcast.delivered");
+      ctx_.metrics().inc(m_delivered_);
+      ctx_.trace_instant(obs::Names::get().abcast_deliver, e.id, e.subtag);
       if (e.subtag < subscribers_.size()) {
         for (const auto& fn : subscribers_[e.subtag]) fn(e.id, e.payload);
       }

@@ -84,6 +84,7 @@ class AtomicBroadcast {
   struct Pending {
     SubTag subtag;
     Bytes payload;
+    TimePoint since = 0;  // when rdelivered locally (order-latency metric)
   };
 
   void on_rdeliver(const MsgId& id, const Bytes& payload);
@@ -93,6 +94,9 @@ class AtomicBroadcast {
   sim::Context& ctx_;
   ReliableBroadcast& rbcast_;
   ConsensusProtocol& consensus_;
+  MetricId m_broadcasts_;
+  MetricId m_delivered_;
+  MetricId h_order_latency_;  ///< rdeliver -> adeliver (time-to-order)
   std::vector<ProcessId> members_;
   bool initialized_ = false;
   std::uint64_t next_instance_ = 0;

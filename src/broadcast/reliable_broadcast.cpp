@@ -12,7 +12,11 @@ constexpr std::uint8_t kWatermarks = 1;
 }  // namespace
 
 ReliableBroadcast::ReliableBroadcast(sim::Context& ctx, ReliableChannel& channel, Tag tag)
-    : ctx_(ctx), channel_(channel), tag_(tag) {
+    : ctx_(ctx), channel_(channel), tag_(tag),
+      m_broadcasts_(metric_id("rbcast.broadcasts")),
+      m_delivered_(metric_id("rbcast.delivered")),
+      m_stability_gossip_(metric_id("rbcast.stability_gossip")),
+      m_stability_pruned_(metric_id("rbcast.stability_pruned")) {
   channel_.subscribe(tag_, [this](ProcessId from, const Bytes& b) { on_message(from, b); });
 }
 
@@ -47,8 +51,11 @@ void ReliableBroadcast::broadcast_with_id(const MsgId& id, Bytes payload) {
   // Send to the whole group (ourselves excluded: we deliver directly below,
   // and marking the id seen suppresses the loopback copy).
   channel_.send_group(group_, tag_, enc.bytes());
-  ctx_.metrics().inc("rbcast.broadcasts");
-  ctx_.metrics().inc("rbcast.delivered");
+  ctx_.metrics().inc(m_broadcasts_);
+  ctx_.metrics().inc(m_delivered_);
+  ctx_.trace_instant(obs::Names::get().rbcast_flood, id,
+                     static_cast<std::int64_t>(payload.size()));
+  ctx_.trace_instant(obs::Names::get().rbcast_deliver, id);
   for (const auto& fn : deliver_fns_) fn(id, payload);
 }
 
@@ -73,13 +80,16 @@ void ReliableBroadcast::handle_data(const Bytes& wire) {
   note_received(id);
   if (non_uniform_) {
     // Lazy mode: no relay at all — NOT uniform (see header).
-    ctx_.metrics().inc("rbcast.delivered");
+    ctx_.metrics().inc(m_delivered_);
+    ctx_.trace_instant(obs::Names::get().rbcast_deliver, id);
     for (const auto& fn : deliver_fns_) fn(id, body);
     return;
   }
   // Relay before delivering: guarantees uniformity under crash-stop.
   channel_.send_group(group_, tag_, wire);
-  ctx_.metrics().inc("rbcast.delivered");
+  ctx_.metrics().inc(m_delivered_);
+  ctx_.trace_instant(obs::Names::get().rbcast_relay, id);
+  ctx_.trace_instant(obs::Names::get().rbcast_deliver, id);
   for (const auto& fn : deliver_fns_) fn(id, body);
 }
 
@@ -120,7 +130,7 @@ void ReliableBroadcast::gossip_tick() {
     enc.put_u64(upto);
   }
   channel_.send_group(group_, tag_, enc.bytes());
-  ctx_.metrics().inc("rbcast.stability_gossip");
+  ctx_.metrics().inc(m_stability_gossip_);
   ctx_.after(gossip_interval_, [this] { gossip_tick(); });
 }
 
@@ -165,7 +175,7 @@ void ReliableBroadcast::recompute_floors() {
     for (auto it = seen_.begin(); it != seen_.end();) {
       it = (it->sender == sender && it->seq < floor) ? seen_.erase(it) : ++it;
     }
-    ctx_.metrics().inc("rbcast.stability_pruned");
+    ctx_.metrics().inc(m_stability_pruned_);
     for (const auto& fn : stable_fns_) fn(sender, floor);
   }
 }

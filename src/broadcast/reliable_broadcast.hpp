@@ -99,6 +99,10 @@ class ReliableBroadcast {
   sim::Context& ctx_;
   ReliableChannel& channel_;
   Tag tag_;
+  MetricId m_broadcasts_;
+  MetricId m_delivered_;
+  MetricId m_stability_gossip_;
+  MetricId m_stability_pruned_;
   std::vector<ProcessId> group_;
   std::uint64_t next_seq_ = 0;
   std::unordered_set<MsgId> seen_;

@@ -15,6 +15,10 @@ ReliableChannel::ReliableChannel(sim::Context& ctx, Transport& transport)
 
 ReliableChannel::ReliableChannel(sim::Context& ctx, Transport& transport, Config config)
     : ctx_(ctx), transport_(transport), config_(config),
+      m_sent_(metric_id("channel.sent")), m_batches_(metric_id("channel.batches")),
+      m_delivered_(metric_id("channel.delivered")),
+      m_retransmits_(metric_id("channel.retransmits")),
+      h_residence_(metric_id("channel.residence_us")),
       handlers_(static_cast<std::size_t>(Tag::kMax)) {
   transport_.subscribe(Tag::kChannel,
                        [this](ProcessId from, const Bytes& b) { on_datagram(from, b); });
@@ -24,7 +28,7 @@ void ReliableChannel::send(ProcessId to, Tag upper, Bytes payload) {
   PeerOut& peer = out_[to];
   const std::uint64_t seq = peer.next_seq++;
   peer.unacked.emplace(seq, Outgoing{upper, std::move(payload), kNeverSent});
-  ctx_.metrics().inc("channel.sent");
+  ctx_.metrics().inc(m_sent_);
   pump(to, peer);
   arm_retransmit_timer();
 }
@@ -79,9 +83,12 @@ void ReliableChannel::transmit_batch(
     enc.put_u64(seq);
     enc.put_byte(static_cast<std::uint8_t>(msg->upper));
     enc.put_bytes(msg->payload);
+    ctx_.trace_instant(obs::Names::get().channel_tx, MsgId{},
+                       obs::pack_channel_arg(to, static_cast<std::uint8_t>(msg->upper),
+                                             msg->payload.size()));
   }
   ++datagrams_sent_;
-  ctx_.metrics().inc("channel.batches");
+  ctx_.metrics().inc(m_batches_);
   transport_.u_send(to, Tag::kChannel, enc.bytes());
 }
 
@@ -123,6 +130,9 @@ std::size_t ReliableChannel::queued_by_flow_control(ProcessId to) const {
 
 void ReliableChannel::transmit(ProcessId to, std::uint64_t seq, const Outgoing& msg) {
   ++datagrams_sent_;
+  ctx_.trace_instant(obs::Names::get().channel_tx, MsgId{},
+                     obs::pack_channel_arg(to, static_cast<std::uint8_t>(msg.upper),
+                                           msg.payload.size()));
   Encoder enc;
   enc.put_byte(kData);
   enc.put_u64(seq);
@@ -148,7 +158,12 @@ void ReliableChannel::on_datagram(ProcessId from, const Bytes& payload) {
     PeerOut& peer = out_[from];
     auto end = peer.unacked.lower_bound(cumulative);
     for (auto it = peer.unacked.begin(); it != end; ++it) {
-      if (it->second.first_sent != kNeverSent && peer.in_flight > 0) --peer.in_flight;
+      if (it->second.first_sent != kNeverSent) {
+        if (peer.in_flight > 0) --peer.in_flight;
+        // Time-in-channel: first transmit until the cumulative ack covers
+        // the message (the sender-side view of channel residence).
+        ctx_.metrics().observe(h_residence_, ctx_.now() - it->second.first_sent);
+      }
     }
     peer.unacked.erase(peer.unacked.begin(), end);
     pump(from, peer);
@@ -180,7 +195,10 @@ void ReliableChannel::on_datagram(ProcessId from, const Bytes& payload) {
 }
 
 void ReliableChannel::deliver(ProcessId from, Tag upper, const Bytes& payload) {
-  ctx_.metrics().inc("channel.delivered");
+  ctx_.metrics().inc(m_delivered_);
+  ctx_.trace_instant(obs::Names::get().channel_rx, MsgId{},
+                     obs::pack_channel_arg(from, static_cast<std::uint8_t>(upper),
+                                           payload.size()));
   auto& handler = handlers_[static_cast<std::size_t>(upper)];
   if (handler) handler(from, payload);
 }
@@ -201,7 +219,10 @@ void ReliableChannel::retransmit_tick() {
       // fresh sends get their first chance and flow-control-queued ones
       // have never been transmitted at all.
       if (msg.first_sent != kNeverSent && ctx_.now() - msg.first_sent >= config_.rto) {
-        ctx_.metrics().inc("channel.retransmits");
+        ctx_.metrics().inc(m_retransmits_);
+        ctx_.trace_instant(obs::Names::get().channel_retransmit, MsgId{},
+                           obs::pack_channel_arg(to, static_cast<std::uint8_t>(msg.upper),
+                                                 msg.payload.size()));
         due.emplace_back(seq, &msg);
       }
       outstanding = true;

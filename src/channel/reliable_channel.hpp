@@ -105,6 +105,13 @@ class ReliableChannel {
   sim::Context& ctx_;
   Transport& transport_;
   Config config_;
+  // Metric ids interned once at construction; the send/deliver hot paths
+  // stay free of string lookups.
+  MetricId m_sent_;
+  MetricId m_batches_;
+  MetricId m_delivered_;
+  MetricId m_retransmits_;
+  MetricId h_residence_;  ///< first transmit -> cumulative ack (time-in-channel)
   std::map<ProcessId, PeerOut> out_;
   std::map<ProcessId, PeerIn> in_;
   std::vector<Handler> handlers_;

@@ -18,7 +18,11 @@ constexpr std::uint8_t kAnnounce = 5;
 
 Consensus::Consensus(sim::Context& ctx, ReliableChannel& channel, FailureDetector& fd,
                      FailureDetector::ClassId fd_class, Tag tag)
-    : ctx_(ctx), channel_(channel), fd_(fd), fd_class_(fd_class), tag_(tag) {
+    : ctx_(ctx), channel_(channel), fd_(fd), fd_class_(fd_class), tag_(tag),
+      m_started_(metric_id("consensus.instances_started")),
+      m_rounds_(metric_id("consensus.rounds")),
+      m_decided_(metric_id("consensus.decided")),
+      h_latency_(metric_id("consensus.latency_us")) {
   channel_.subscribe(tag_, [this](ProcessId from, const Bytes& b) { on_message(from, b); });
   fd_.on_suspect(fd_class_, [this](ProcessId q) { on_fd_suspect(q); });
 }
@@ -50,13 +54,16 @@ void Consensus::propose(std::uint64_t k, Bytes value, std::vector<ProcessId> mem
   Instance& inst = get_instance(k, &members);
   if (inst.started || inst.decided) return;
   inst.started = true;
+  inst.started_at = ctx_.now();
+  ctx_.trace_begin(obs::Names::get().consensus_instance,
+                   MsgId{obs::kConsensusKey, k});
   // Do not clobber an estimate adopted while participating passively: it may
   // be locked by a majority (CT safety argument relies on keeping it).
   if (inst.estimate_ts < 0) {
     inst.estimate = std::move(value);
     inst.estimate_ts = 0;
   }
-  ctx_.metrics().inc("consensus.instances_started");
+  ctx_.metrics().inc(m_started_);
   // FD must watch everyone who may become coordinator.
   fd_.monitor_group(fd_class_, inst.members);
   // CT assumes every correct member proposes. Announce the instance so
@@ -78,8 +85,10 @@ void Consensus::enter_round(std::uint64_t k, Instance& inst, std::int64_t r) {
   if (inst.decided) return;
   inst.round = r;
   inst.responded = false;
-  ctx_.metrics().inc("consensus.rounds");
+  ctx_.metrics().inc(m_rounds_);
   const ProcessId c = inst.coordinator(r);
+  ctx_.trace_instant(obs::Names::get().consensus_estimate, MsgId{obs::kConsensusKey, k},
+                     r);
   // Phase 1: send estimate to the coordinator.
   Encoder enc;
   enc.put_byte(kEstimate);
@@ -106,6 +115,7 @@ void Consensus::nack_round(std::uint64_t k, Instance& inst) {
   if (inst.decided || inst.responded) return;
   inst.responded = true;
   const std::int64_t r = inst.round;
+  ctx_.trace_instant(obs::Names::get().consensus_nack, MsgId{obs::kConsensusKey, k}, r);
   Encoder enc;
   enc.put_byte(kNack);
   enc.put_u64(k);
@@ -197,6 +207,7 @@ void Consensus::maybe_propose_round(std::uint64_t k, Instance& inst, std::int64_
       [](const auto& a, const auto& b) { return a.first < b.first; });
   round.proposed = true;
   round.proposal = best->second;
+  ctx_.trace_instant(obs::Names::get().consensus_propose, MsgId{obs::kConsensusKey, k}, r);
   Encoder enc;
   enc.put_byte(kPropose);
   enc.put_u64(k);
@@ -226,6 +237,7 @@ void Consensus::handle_propose(ProcessId from, std::uint64_t k, std::int64_t r, 
   // proposals (ts 0): the coordinator's max-ts selection must always prefer
   // a possibly-decided value over a fresh one.
   inst.estimate_ts = r + 1;
+  ctx_.trace_instant(obs::Names::get().consensus_ack, MsgId{obs::kConsensusKey, k}, r);
   Encoder enc;
   enc.put_byte(kAck);
   enc.put_u64(k);
@@ -277,9 +289,19 @@ void Consensus::handle_decide(std::uint64_t k, Bytes value) {
   if (decisions_.count(k)) return;
   decisions_.emplace(k, value);
   ++decided_count_;
-  ctx_.metrics().inc("consensus.decided");
+  ctx_.metrics().inc(m_decided_);
+  ctx_.trace_instant(obs::Names::get().consensus_decide, MsgId{obs::kConsensusKey, k},
+                     static_cast<std::int64_t>(value.size()));
+  ctx_.trace_end(obs::Names::get().consensus_instance, MsgId{obs::kConsensusKey, k});
+  if (ctx_.log().enabled(LogLevel::kDebug)) {
+    ctx_.log().debug("consensus decide k=" + std::to_string(k) + " bytes=" +
+                     std::to_string(value.size()));
+  }
   auto it = instances_.find(k);
   if (it != instances_.end()) {
+    if (it->second.started_at >= 0) {
+      ctx_.metrics().observe(h_latency_, ctx_.now() - it->second.started_at);
+    }
     // Echo the decision once to the members we know, then drop round state.
     if (!it->second.decided && !it->second.members.empty()) {
       Encoder enc;

@@ -80,6 +80,7 @@ class Consensus final : public ConsensusProtocol {
     std::int64_t estimate_ts = -1;
     std::int64_t round = 0;
     bool responded = false;   // ACK/NACK already sent for `round`
+    TimePoint started_at = -1;  // when propose() ran locally (latency metric)
 
     // Coordinator-side per-round state.
     struct RoundState {
@@ -114,6 +115,10 @@ class Consensus final : public ConsensusProtocol {
   FailureDetector& fd_;
   FailureDetector::ClassId fd_class_;
   Tag tag_;
+  MetricId m_started_;
+  MetricId m_rounds_;
+  MetricId m_decided_;
+  MetricId h_latency_;  ///< propose() -> local decision (time-in-consensus)
   std::unordered_map<std::uint64_t, Instance> instances_;
   std::unordered_map<std::uint64_t, Bytes> decisions_;
   std::vector<DecideFn> decide_fns_;

@@ -20,7 +20,11 @@ constexpr std::uint8_t kAnnounce = 6;
 PaxosConsensus::PaxosConsensus(sim::Context& ctx, ReliableChannel& channel,
                                FailureDetector& fd, FailureDetector::ClassId fd_class,
                                Tag tag)
-    : ctx_(ctx), channel_(channel), fd_(fd), fd_class_(fd_class), tag_(tag) {
+    : ctx_(ctx), channel_(channel), fd_(fd), fd_class_(fd_class), tag_(tag),
+      m_started_(metric_id("paxos.instances_started")),
+      m_ballots_(metric_id("paxos.ballots_started")),
+      m_decided_(metric_id("paxos.decided")),
+      h_latency_(metric_id("consensus.latency_us")) {
   channel_.subscribe(tag_, [this](ProcessId from, const Bytes& b) { on_message(from, b); });
   fd_.on_suspect(fd_class_, [this](ProcessId q) { on_fd_suspect(q); });
 }
@@ -50,8 +54,10 @@ void PaxosConsensus::propose(std::uint64_t k, Bytes value, std::vector<ProcessId
   Instance& inst = get_instance(k, &members);
   if (inst.started || inst.decided) return;
   inst.started = true;
+  inst.started_at = ctx_.now();
   inst.my_value = std::move(value);
-  ctx_.metrics().inc("paxos.instances_started");
+  ctx_.metrics().inc(m_started_);
+  ctx_.trace_begin(obs::Names::get().consensus_instance, MsgId{obs::kConsensusKey, k});
   fd_.monitor_group(fd_class_, inst.members);
   // Pull passive members in (they must at least act as acceptors with the
   // member set known, and as takeover candidates).
@@ -78,7 +84,9 @@ void PaxosConsensus::start_ballot(std::uint64_t k, Instance& inst, std::int64_t 
   attempt.preparing = true;
   attempt.value = inst.my_value;
   inst.max_ballot_seen = std::max(inst.max_ballot_seen, ballot);
-  ctx_.metrics().inc("paxos.ballots_started");
+  ctx_.metrics().inc(m_ballots_);
+  ctx_.trace_instant(obs::Names::get().consensus_propose, MsgId{obs::kConsensusKey, k},
+                     ballot);
   Encoder enc;
   enc.put_byte(kPrepare);
   enc.put_u64(k);
@@ -276,9 +284,15 @@ void PaxosConsensus::handle_decide(std::uint64_t k, Bytes value) {
   if (decisions_.count(k)) return;
   decisions_.emplace(k, value);
   ++decided_count_;
-  ctx_.metrics().inc("paxos.decided");
+  ctx_.metrics().inc(m_decided_);
+  ctx_.trace_instant(obs::Names::get().consensus_decide, MsgId{obs::kConsensusKey, k},
+                     static_cast<std::int64_t>(value.size()));
+  ctx_.trace_end(obs::Names::get().consensus_instance, MsgId{obs::kConsensusKey, k});
   auto it = instances_.find(k);
   if (it != instances_.end()) {
+    if (it->second.started_at >= 0) {
+      ctx_.metrics().observe(h_latency_, ctx_.now() - it->second.started_at);
+    }
     if (!it->second.decided && !it->second.members.empty()) {
       Encoder enc;
       enc.put_byte(kDecide);

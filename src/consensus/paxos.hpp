@@ -49,6 +49,7 @@ class PaxosConsensus final : public ConsensusProtocol {
     bool started = false;
     bool decided = false;
     Bytes my_value;
+    TimePoint started_at = -1;  // when propose() ran locally (latency metric)
 
     // Acceptor state.
     std::int64_t promised = -1;
@@ -99,6 +100,10 @@ class PaxosConsensus final : public ConsensusProtocol {
   FailureDetector& fd_;
   FailureDetector::ClassId fd_class_;
   Tag tag_;
+  MetricId m_started_;
+  MetricId m_ballots_;
+  MetricId m_decided_;
+  MetricId h_latency_;  ///< propose() -> local decision (time-in-consensus)
   std::unordered_map<std::uint64_t, Instance> instances_;
   std::unordered_map<std::uint64_t, Bytes> decisions_;
   std::vector<DecideFn> decide_fns_;

@@ -16,6 +16,13 @@ GenericBroadcast::GenericBroadcast(sim::Context& ctx, ReliableChannel& channel,
                                    ReliableBroadcast& rbcast, AtomicBroadcast& abcast,
                                    ConflictRelation relation, Config config)
     : ctx_(ctx), channel_(channel), rbcast_(rbcast), abcast_(abcast),
+      m_broadcasts_(metric_id("gbcast.broadcasts")),
+      m_fast_delivered_(metric_id("gbcast.fast_delivered")),
+      m_resolved_delivered_(metric_id("gbcast.resolved_delivered")),
+      m_resolutions_(metric_id("gbcast.resolutions_triggered")),
+      m_rounds_resolved_(metric_id("gbcast.rounds_resolved")),
+      h_fast_latency_(metric_id("gbcast.fast_latency_us")),
+      h_slow_latency_(metric_id("gbcast.slow_latency_us")),
       relation_(std::move(relation)), config_(config) {
   rbcast_.on_deliver([this](const MsgId& id, const Bytes& b) { on_gb_data(id, b); });
   channel_.subscribe(Tag::kGbcast, [this](ProcessId from, const Bytes& b) { on_ack(from, b); });
@@ -56,8 +63,10 @@ MsgId GenericBroadcast::gbcast(MsgClass cls, Bytes payload) {
   Encoder enc;
   enc.put_byte(cls);
   enc.put_bytes(payload);
-  ctx_.metrics().inc("gbcast.broadcasts");
-  return rbcast_.broadcast(enc.take());
+  ctx_.metrics().inc(m_broadcasts_);
+  const MsgId id = rbcast_.broadcast(enc.take());
+  ctx_.trace_instant(obs::Names::get().gb_submit, id, cls);
+  return id;
 }
 
 void GenericBroadcast::on_gb_data(const MsgId& id, const Bytes& wire) {
@@ -66,11 +75,12 @@ void GenericBroadcast::on_gb_data(const MsgId& id, const Bytes& wire) {
   const MsgClass cls = dec.get_byte();
   Bytes payload = dec.get_bytes();
   if (!dec.ok()) return;
-  Stored stored{cls, std::move(payload), sim::kNoTimer};
+  Stored stored{cls, std::move(payload), sim::kNoTimer, ctx_.now()};
   stored.deadline = ctx_.after(config_.resolve_timeout, [this, id] {
     if (!delivered_.count(id)) trigger_resolution();
   });
   store_.emplace(id, std::move(stored));
+  ctx_.trace_begin(obs::Names::get().gb_fast_pending, id, cls);
   consider(id);
   // An ACK quorum may have assembled before the payload arrived.
   maybe_fast_deliver(id);
@@ -92,6 +102,7 @@ void GenericBroadcast::consider(const MsgId& id) {
     }
   }
   acked_.insert(id);
+  ctx_.trace_instant(obs::Names::get().gb_ack, id, static_cast<std::int64_t>(round_));
   Encoder enc;
   enc.put_u64(round_);
   enc.put_msgid(id);
@@ -120,17 +131,24 @@ void GenericBroadcast::maybe_fast_deliver(const MsgId& id) {
   const auto sit = store_.find(id);
   if (sit == store_.end()) return;  // payload not here yet
   ++fast_deliveries_;
-  ctx_.metrics().inc("gbcast.fast_delivered");
+  ctx_.metrics().inc(m_fast_delivered_);
+  ctx_.metrics().observe(h_fast_latency_, ctx_.now() - sit->second.received_at);
   deliver(id, sit->second.cls, sit->second.payload, /*fast=*/true);
 }
 
 void GenericBroadcast::deliver(const MsgId& id, MsgClass cls, const Bytes& payload,
                                bool fast) {
   if (!delivered_.insert(id).second) return;
+  const obs::Names& names = obs::Names::get();
   if (!fast) {
     ++resolved_deliveries_;
-    ctx_.metrics().inc("gbcast.resolved_delivered");
+    ctx_.metrics().inc(m_resolved_delivered_);
+    if (auto sit = store_.find(id); sit != store_.end() && sit->second.received_at > 0) {
+      ctx_.metrics().observe(h_slow_latency_, ctx_.now() - sit->second.received_at);
+    }
   }
+  ctx_.trace_end(names.gb_fast_pending, id);
+  ctx_.trace_instant(fast ? names.gb_deliver_fast : names.gb_deliver_slow, id);
   auto it = store_.find(id);
   if (it != store_.end() && it->second.deadline != sim::kNoTimer) {
     ctx_.cancel(it->second.deadline);
@@ -143,7 +161,14 @@ void GenericBroadcast::trigger_resolution() {
   if (resolving_ || !is_member()) return;
   resolving_ = true;
   frozen_ = true;
-  ctx_.metrics().inc("gbcast.resolutions_triggered");
+  ctx_.metrics().inc(m_resolutions_);
+  ctx_.trace_begin(obs::Names::get().gb_resolve,
+                   MsgId{obs::kGbRoundKey, round_},
+                   static_cast<std::int64_t>(store_.size()));
+  if (ctx_.log().enabled(LogLevel::kDebug)) {
+    ctx_.log().debug("gb resolution round=" + std::to_string(round_) + " store=" +
+                     std::to_string(store_.size()));
+  }
   // Report = snapshot of our round: every message we know (payload
   // included) plus whether we ACKed it.
   Encoder enc;
@@ -209,7 +234,9 @@ void GenericBroadcast::maybe_finalize_round() {
     deliver(id, cls, payload, /*fast=*/false);
   }
   ++rounds_resolved_;
-  ctx_.metrics().inc("gbcast.rounds_resolved");
+  ctx_.metrics().inc(m_rounds_resolved_);
+  ctx_.trace_end(obs::Names::get().gb_resolve, MsgId{obs::kGbRoundKey, round_},
+                 static_cast<std::int64_t>(first.size() + second.size()));
   start_new_round();
 }
 

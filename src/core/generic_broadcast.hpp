@@ -113,6 +113,7 @@ class GenericBroadcast {
     MsgClass cls;
     Bytes payload;
     sim::TimerId deadline = sim::kNoTimer;
+    TimePoint received_at = 0;  // payload arrival (fast/slow latency metric)
   };
 
   bool is_member() const;
@@ -130,6 +131,13 @@ class GenericBroadcast {
   int tau() const;
 
   sim::Context& ctx_;
+  MetricId m_broadcasts_;
+  MetricId m_fast_delivered_;
+  MetricId m_resolved_delivered_;
+  MetricId m_resolutions_;
+  MetricId m_rounds_resolved_;
+  MetricId h_fast_latency_;  ///< payload arrival -> fast-path delivery
+  MetricId h_slow_latency_;  ///< payload arrival -> resolution delivery
   ReliableChannel& channel_;
   ReliableBroadcast& rbcast_;
   AtomicBroadcast& abcast_;

@@ -75,6 +75,7 @@ void GroupMembership::on_channel_message(ProcessId from, const Bytes& payload) {
     if (!is_member()) return;  // we cannot sponsor; the joiner will retry
     if (view_.contains(from) || !pending_joins_.insert(from).second) return;
     ctx_.metrics().inc("membership.joins_sponsored");
+    ctx_.trace_instant(obs::Names::get().membership_join_req, MsgId{}, from);
     Encoder enc;
     enc.put_byte(kOpJoin);
     enc.put_i32(from);
@@ -146,6 +147,13 @@ void GroupMembership::install_view(View v) {
   view_ = std::move(v);
   ++views_installed_;
   ctx_.metrics().inc("membership.views_installed");
+  ctx_.trace_instant(obs::Names::get().view_install,
+                     MsgId{obs::kViewKey, view_.id},
+                     static_cast<std::int64_t>(view_.members.size()));
+  if (ctx_.log().enabled(LogLevel::kInfo)) {
+    ctx_.log().info("view " + std::to_string(view_.id) + " installed (" +
+                    std::to_string(view_.members.size()) + " members)");
+  }
   // Reconfigure the ordering components below. Effective from the next
   // consensus instance — every member applies this at the same point of
   // the total order, so instance member sets agree everywhere.
@@ -164,6 +172,7 @@ void GroupMembership::send_state(ProcessId joiner) {
   if (gbcast_) enc.put_bytes(gbcast_->snapshot());
   enc.put_bytes(snapshot_provider_ ? snapshot_provider_() : Bytes{});
   ctx_.metrics().inc("membership.state_transfers_sent");
+  ctx_.trace_instant(obs::Names::get().membership_state_txf, MsgId{}, joiner);
   channel_.send(joiner, Tag::kMembership, enc.take());
 }
 
@@ -186,6 +195,9 @@ void GroupMembership::install_state(const Bytes& payload) {
   if (snapshot_installer_) snapshot_installer_(app_snapshot);
   view_ = std::move(v);
   ++views_installed_;
+  ctx_.trace_instant(obs::Names::get().view_install,
+                     MsgId{obs::kViewKey, view_.id},
+                     static_cast<std::int64_t>(view_.members.size()));
   if (gbcast_) gbcast_->set_group(view_.members);
   for (const auto& fn : view_fns_) fn(view_);
 }

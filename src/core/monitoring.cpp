@@ -86,6 +86,7 @@ void Monitoring::add_vote(ProcessId voter, ProcessId q) {
   voters.insert(voter);
   if (static_cast<int>(voters.size()) >= config_.suspicion_threshold) {
     ctx_.metrics().inc("monitoring.exclusions_requested");
+    ctx_.trace_instant(obs::Names::get().monitoring_exclusion, MsgId{}, q);
     membership_.remove(q);
   }
 }

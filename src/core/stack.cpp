@@ -25,6 +25,10 @@ GcsStack::GcsStack(sim::Engine& engine, std::unique_ptr<Transport> transport,
 }
 
 void GcsStack::wire(StackConfig config) {
+  recorder_ = config.recorder;
+  if (recorder_) {
+    ctx_->set_tracer(obs::Tracer(recorder_.get(), ctx_->self()));
+  }
   channel_ = std::make_unique<ReliableChannel>(*ctx_, *transport_, config.channel);
   fd_ = std::make_unique<FailureDetector>(*ctx_, *transport_, config.fd);
   consensus_fd_class_ = fd_->add_class(config.consensus_suspect_timeout);

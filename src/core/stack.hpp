@@ -33,6 +33,7 @@
 #include "core/membership.hpp"
 #include "core/monitoring.hpp"
 #include "fd/failure_detector.hpp"
+#include "obs/trace.hpp"
 #include "sim/context.hpp"
 #include "sim/network.hpp"
 #include "transport/sim_transport.hpp"
@@ -57,6 +58,10 @@ struct StackConfig {
   /// Stability gossip period for the atomic-broadcast substrate; bounds
   /// dedup memory on long runs (0 = disabled; fine for bounded runs).
   Duration stability_interval = 0;
+  /// Flight recorder for message-lifecycle tracing; null (the default)
+  /// leaves tracing a branch-predictable no-op. Usually shared by every
+  /// stack of one simulation so the trace interleaves all processes.
+  std::shared_ptr<obs::Recorder> recorder;
 };
 
 class GcsStack {
@@ -120,10 +125,13 @@ class GcsStack {
   const View& view() const { return membership_->view(); }
   ProcessId self() const { return ctx_->self(); }
   Metrics& metrics() { return ctx_->metrics(); }
+  /// The flight recorder installed via StackConfig, or null.
+  const std::shared_ptr<obs::Recorder>& recorder() const { return recorder_; }
 
  private:
   void wire(StackConfig config);
 
+  std::shared_ptr<obs::Recorder> recorder_;
   std::unique_ptr<sim::Context> ctx_;
   std::unique_ptr<Transport> transport_;
   std::unique_ptr<ReliableChannel> channel_;

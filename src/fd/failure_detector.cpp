@@ -117,6 +117,7 @@ void FailureDetector::on_heartbeat(ProcessId from) {
       // The process was alive after all: the suspicion was false.
       ++false_suspicions_;
       ctx_.metrics().inc("fd.false_suspicions");
+      ctx_.trace_instant(obs::Names::get().fd_restore, MsgId{}, from);
       for (const auto& fn : c.restore_fns) fn(from);
     }
   }
@@ -151,6 +152,11 @@ void FailureDetector::mark_suspected(ClassId cls, ProcessId q) {
   if (!c.monitored.count(q) || c.suspected.count(q)) return;
   c.suspected.insert(q);
   ctx_.metrics().inc("fd.suspicions");
+  ctx_.trace_instant(obs::Names::get().fd_suspect, MsgId{}, q);
+  if (ctx_.log().enabled(LogLevel::kDebug)) {
+    ctx_.log().debug("suspect p" + std::to_string(q) + " (class " +
+                     std::to_string(cls) + ")");
+  }
   for (const auto& fn : c.suspect_fns) fn(q);
 }
 

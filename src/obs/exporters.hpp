@@ -1,0 +1,56 @@
+/// \file exporters.hpp
+/// Trace exporters for the flight recorder (obs/trace.hpp).
+///
+/// Two renderings of the same record stream:
+///   - Chrome trace-event JSON: async spans/instants grouped by correlation
+///     key, loadable in Perfetto / chrome://tracing. Timestamps are virtual
+///     time in microseconds, pids are process ids.
+///   - Text sequence diagram: one column per process, one line per channel
+///     data transmit — the teaching view trace_tool prints (it used to
+///     reverse-engineer this from raw datagrams; now it reads the tracer).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace gcs::obs {
+
+/// Serialize \p records as a Chrome trace-event JSON document.
+std::string chrome_trace_json(const std::vector<Record>& records);
+
+inline std::string chrome_trace_json(const Recorder& recorder) {
+  return chrome_trace_json(recorder.records());
+}
+
+/// Write the Chrome trace-event JSON to \p path. Returns false on I/O error.
+bool write_chrome_trace(const Recorder& recorder, const std::string& path);
+
+struct SequenceOptions {
+  /// Stop after this many diagram lines (the ring is bounded; the diagram
+  /// should be too).
+  std::size_t max_lines = 60;
+  /// Number of process columns; 0 infers max process id + 1 from records.
+  int num_processes = 0;
+  /// Only render records with ts >= since (virtual microseconds).
+  TimePoint since = 0;
+};
+
+/// Render channel data transmits as a sequence diagram: one column per
+/// process, 'o' at the sender, '>' at the receiver, labelled with the upper
+/// component tag riding the channel frame.
+std::string render_sequence(const std::vector<Record>& records,
+                            const SequenceOptions& options = {});
+
+inline std::string render_sequence(const Recorder& recorder,
+                                   const SequenceOptions& options = {}) {
+  return render_sequence(recorder.records(), options);
+}
+
+/// One-line human rendering of a record ("[  12.345ms] p1 consensus.ack
+/// c:0 arg=1"), used by the flight-recorder dump in test failures.
+std::string format_record(const Record& r);
+
+}  // namespace gcs::obs

@@ -1,0 +1,123 @@
+#include "obs/trace.hpp"
+
+#include <cassert>
+#include <map>
+#include <string>
+
+namespace gcs::obs {
+
+namespace {
+
+struct Registry {
+  // std::less<> enables string_view lookups without constructing a string.
+  std::map<std::string, NameId, std::less<>> ids;
+  std::vector<std::string_view> names;  // views into the map's stable keys
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace
+
+NameId intern_name(std::string_view name) {
+  Registry& r = registry();
+  if (auto it = r.ids.find(name); it != r.ids.end()) return it->second;
+  assert(r.names.size() < kNoName);
+  const auto id = static_cast<NameId>(r.names.size());
+  auto [it, inserted] = r.ids.emplace(std::string(name), id);
+  (void)inserted;
+  r.names.push_back(it->first);
+  return id;
+}
+
+NameId find_name(std::string_view name) {
+  Registry& r = registry();
+  auto it = r.ids.find(name);
+  return it == r.ids.end() ? kNoName : it->second;
+}
+
+std::string_view name_of(NameId id) {
+  Registry& r = registry();
+  return id < r.names.size() ? r.names[id] : std::string_view{};
+}
+
+void Recorder::enable(std::size_t capacity) {
+  if (capacity == 0) {
+    disable();
+    return;
+  }
+  if (ring_.size() != capacity) {
+    ring_.assign(capacity, Record{});
+    head_ = 0;
+    count_ = 0;
+  }
+  enabled_ = true;
+}
+
+void Recorder::disable() { enabled_ = false; }
+
+void Recorder::clear() {
+  head_ = 0;
+  count_ = 0;
+  dropped_ = 0;
+}
+
+std::vector<Record> Recorder::records() const {
+  std::vector<Record> out;
+  out.reserve(count_);
+  // Oldest record sits at head_ when the ring has wrapped, at 0 otherwise.
+  const std::size_t start = count_ == ring_.size() ? head_ : 0;
+  for (std::size_t i = 0; i < count_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<Record> Recorder::tail(ProcessId proc, std::size_t n) const {
+  std::vector<Record> all = records();
+  std::vector<Record> out;
+  // Walk backwards collecting the last n matching records, then reverse.
+  for (auto it = all.rbegin(); it != all.rend() && out.size() < n; ++it) {
+    if (proc == kNoProcess || it->proc == proc) out.push_back(*it);
+  }
+  return {out.rbegin(), out.rend()};
+}
+
+const Names& Names::get() {
+  static const Names names = [] {
+    Names n;
+    n.channel_tx = intern_name("channel.tx");
+    n.channel_rx = intern_name("channel.rx");
+    n.channel_retransmit = intern_name("channel.retransmit");
+    n.rbcast_flood = intern_name("rbcast.flood");
+    n.rbcast_relay = intern_name("rbcast.relay");
+    n.rbcast_deliver = intern_name("rbcast.deliver");
+    n.consensus_instance = intern_name("consensus.instance");
+    n.consensus_estimate = intern_name("consensus.estimate");
+    n.consensus_propose = intern_name("consensus.propose");
+    n.consensus_ack = intern_name("consensus.ack");
+    n.consensus_nack = intern_name("consensus.nack");
+    n.consensus_decide = intern_name("consensus.decide");
+    n.abcast_submit = intern_name("abcast.submit");
+    n.abcast_pending = intern_name("abcast.pending");
+    n.abcast_deliver = intern_name("abcast.deliver");
+    n.gb_submit = intern_name("gb.submit");
+    n.gb_ack = intern_name("gb.ack");
+    n.gb_fast_pending = intern_name("gb.fast_pending");
+    n.gb_deliver_fast = intern_name("gb.deliver.fast");
+    n.gb_deliver_slow = intern_name("gb.deliver.slow");
+    n.gb_resolve = intern_name("gb.resolve");
+    n.view_install = intern_name("view.install");
+    n.membership_join_req = intern_name("membership.join_req");
+    n.membership_state_txf = intern_name("membership.state_transfer");
+    n.fd_suspect = intern_name("fd.suspect");
+    n.fd_restore = intern_name("fd.restore");
+    n.monitoring_exclusion = intern_name("monitoring.exclusion");
+    return n;
+  }();
+  return names;
+}
+
+}  // namespace gcs::obs

@@ -11,6 +11,7 @@
 #include <functional>
 #include <memory>
 
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
@@ -56,6 +57,24 @@ class Context {
   Metrics& metrics() { return *metrics_; }
   std::shared_ptr<Metrics> metrics_ptr() { return metrics_; }
 
+  /// Message-lifecycle tracer. Default-disabled; GcsStack installs one when
+  /// the stack config carries a flight recorder. A disabled tracer's calls
+  /// are one load + compare (see obs/trace.hpp).
+  const obs::Tracer& tracer() const { return tracer_; }
+  void set_tracer(obs::Tracer tracer) { tracer_ = tracer; }
+
+  /// Trace helpers stamped with the current virtual time.
+  void trace_begin(obs::NameId name, const MsgId& msg, std::int64_t arg = 0) const {
+    if (tracer_.enabled()) tracer_.begin(now(), name, msg, arg);
+  }
+  void trace_end(obs::NameId name, const MsgId& msg, std::int64_t arg = 0) const {
+    if (tracer_.enabled()) tracer_.end(now(), name, msg, arg);
+  }
+  void trace_instant(obs::NameId name, const MsgId& msg = MsgId{},
+                     std::int64_t arg = 0) const {
+    if (tracer_.enabled()) tracer_.instant(now(), name, msg, arg);
+  }
+
  private:
   ProcessId self_;
   Engine& engine_;
@@ -63,6 +82,7 @@ class Context {
   Logger log_;
   std::shared_ptr<Metrics> metrics_;
   std::shared_ptr<bool> alive_;
+  obs::Tracer tracer_;
 };
 
 }  // namespace gcs::sim

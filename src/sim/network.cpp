@@ -8,7 +8,10 @@ Network::Network(Engine& engine, int n, LinkModel default_link, std::uint64_t se
     : engine_(engine), n_(n), rng_(seed), handlers_(static_cast<std::size_t>(n)),
       crashed_(static_cast<std::size_t>(n), false),
       links_(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), default_link),
-      component_of_(static_cast<std::size_t>(n), -1) {
+      component_of_(static_cast<std::size_t>(n), -1), m_sent_(metric_id("net.sent")),
+      m_bytes_sent_(metric_id("net.bytes_sent")), m_dropped_(metric_id("net.dropped")),
+      m_partition_dropped_(metric_id("net.partition_dropped")),
+      m_delivered_(metric_id("net.delivered")) {
   for (ProcessId p = 0; p < n; ++p) link(p, p) = LinkModel::loopback();
 }
 
@@ -19,13 +22,13 @@ void Network::set_handler(ProcessId p, Handler handler) {
 
 void Network::send(ProcessId from, ProcessId to, Payload payload) {
   assert(from >= 0 && from < n_ && to >= 0 && to < n_);
-  metrics_.inc("net.sent");
-  metrics_.inc("net.bytes_sent", static_cast<std::int64_t>(payload.size()));
+  metrics_.inc(m_sent_);
+  metrics_.inc(m_bytes_sent_, static_cast<std::int64_t>(payload.size()));
   if (tap_) tap_(from, to, payload.bytes());
   if (crashed_[static_cast<std::size_t>(from)]) return;  // dead senders send nothing
   const LinkModel& m = link(from, to);
   if (m.drop_probability > 0.0 && rng_.chance(m.drop_probability)) {
-    metrics_.inc("net.dropped");
+    metrics_.inc(m_dropped_);
     return;
   }
   const Duration jitter = m.jitter > 0 ? rng_.next_range(0, m.jitter) : 0;
@@ -36,12 +39,12 @@ void Network::send(ProcessId from, ProcessId to, Payload payload) {
                          [this, from, to, payload = std::move(payload)]() {
                            if (crashed_[static_cast<std::size_t>(to)]) return;
                            if (!connected(from, to)) {
-                             metrics_.inc("net.partition_dropped");
+                             metrics_.inc(m_partition_dropped_);
                              return;
                            }
                            auto& handler = handlers_[static_cast<std::size_t>(to)];
                            if (!handler) return;
-                           metrics_.inc("net.delivered");
+                           metrics_.inc(m_delivered_);
                            handler(from, payload.bytes());
                          });
 }

@@ -92,6 +92,13 @@ class Network {
   std::vector<int> component_of_;         // partition component id, -1 = healed
   bool partitioned_ = false;
   Metrics metrics_;
+  // Interned once; the per-datagram path does vector-indexed increments
+  // only (the kernel fanout benchmark counts allocations through here).
+  MetricId m_sent_;
+  MetricId m_bytes_sent_;
+  MetricId m_dropped_;
+  MetricId m_partition_dropped_;
+  MetricId m_delivered_;
   Tap tap_;
 };
 

@@ -26,7 +26,7 @@ LogLevel Logger::global_level() { return static_cast<LogLevel>(g_level.load()); 
 
 void Logger::log(LogLevel level, const std::string& msg) const {
   if (!enabled(level)) return;
-  const TimePoint t = now_fn_ ? now_fn_() : 0;
+  const TimePoint t = now_fn_ && *now_fn_ ? (*now_fn_)() : 0;
   std::fprintf(stderr, "[%10.3fms] %s %-14s %s\n", static_cast<double>(t) / 1000.0,
                level_name(level), who_.c_str(), msg.c_str());
 }

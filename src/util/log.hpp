@@ -5,10 +5,17 @@
 /// prefixed with virtual time and process id so interleaved traces from a
 /// simulation read chronologically. Logging is off by default (benchmarks
 /// and tests stay quiet); enable with Logger::set_global_level.
+///
+/// Cost contract: a disabled log call is one atomic load + compare. Hot
+/// layers guard message construction behind enabled(level), so no string is
+/// built when the level is off. The virtual-time source is shared between a
+/// logger and all its sub() derivations (one shared_ptr, not a
+/// std::function copy per component).
 #pragma once
 
 #include <cstdio>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "util/types.hpp"
@@ -17,16 +24,20 @@ namespace gcs {
 
 enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
 
-/// Per-process logger; cheap to copy.
+/// Per-process logger; cheap to copy (a string + a shared_ptr).
 class Logger {
  public:
+  using NowFn = std::function<TimePoint()>;
+
   Logger() = default;
   /// \param who      short label, e.g. "p3" or "p3/abcast"
   /// \param now_fn   returns the current virtual time for prefixes
-  Logger(std::string who, std::function<TimePoint()> now_fn)
-      : who_(std::move(who)), now_fn_(std::move(now_fn)) {}
+  Logger(std::string who, NowFn now_fn)
+      : who_(std::move(who)),
+        now_fn_(std::make_shared<const NowFn>(std::move(now_fn))) {}
 
-  /// Derive a logger for a sub-component, e.g. base.sub("consensus").
+  /// Derive a logger for a sub-component, e.g. base.sub("consensus"). The
+  /// now-source is shared, not copied.
   Logger sub(const std::string& component) const {
     return Logger(who_.empty() ? component : who_ + "/" + component, now_fn_);
   }
@@ -37,6 +48,8 @@ class Logger {
   void warn(const std::string& msg) const { log(LogLevel::kWarn, msg); }
   void error(const std::string& msg) const { log(LogLevel::kError, msg); }
 
+  /// Call-site guard: `if (log.enabled(LogLevel::kDebug)) log.debug(...)`
+  /// skips message construction entirely when the level is off.
   bool enabled(LogLevel level) const { return level >= global_level(); }
 
   /// Process-wide minimum level. Default kOff.
@@ -44,10 +57,13 @@ class Logger {
   static LogLevel global_level();
 
  private:
+  Logger(std::string who, std::shared_ptr<const NowFn> now_fn)
+      : who_(std::move(who)), now_fn_(std::move(now_fn)) {}
+
   void log(LogLevel level, const std::string& msg) const;
 
   std::string who_;
-  std::function<TimePoint()> now_fn_;
+  std::shared_ptr<const NowFn> now_fn_;
 };
 
 }  // namespace gcs

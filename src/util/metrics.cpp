@@ -1,6 +1,46 @@
 #include "util/metrics.hpp"
 
+#include <cassert>
+#include <cmath>
+
 namespace gcs {
+
+namespace {
+
+struct MetricRegistry {
+  // std::less<> enables string_view lookups without constructing a string.
+  std::map<std::string, MetricId, std::less<>> ids;
+  std::vector<std::string_view> names;  // views into the map's stable keys
+};
+
+MetricRegistry& registry() {
+  static MetricRegistry r;
+  return r;
+}
+
+}  // namespace
+
+MetricId metric_id(std::string_view name) {
+  MetricRegistry& r = registry();
+  if (auto it = r.ids.find(name); it != r.ids.end()) return it->second;
+  assert(r.names.size() < kNoMetric);
+  const auto id = static_cast<MetricId>(r.names.size());
+  auto [it, inserted] = r.ids.emplace(std::string(name), id);
+  (void)inserted;
+  r.names.push_back(it->first);
+  return id;
+}
+
+MetricId find_metric(std::string_view name) {
+  MetricRegistry& r = registry();
+  auto it = r.ids.find(name);
+  return it == r.ids.end() ? kNoMetric : it->second;
+}
+
+std::string_view metric_name(MetricId id) {
+  MetricRegistry& r = registry();
+  return id < r.names.size() ? r.names[id] : std::string_view{};
+}
 
 void Histogram::sort() const {
   if (!sorted_) {
@@ -33,8 +73,28 @@ Duration Histogram::percentile(double q) const {
   sort();
   if (q <= 0) return samples_.front();
   if (q >= 100) return samples_.back();
-  const auto rank = static_cast<std::size_t>(q / 100.0 * static_cast<double>(samples_.size() - 1) + 0.5);
-  return samples_[std::min(rank, samples_.size() - 1)];
+  // Nearest-rank: the smallest sample such that at least q% of samples are
+  // <= it. rank is 1-based; the old formula interpolated against n-1 and
+  // could land one slot low on small sample counts.
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q / 100.0 * static_cast<double>(samples_.size())));
+  return samples_[std::min(rank == 0 ? 0 : rank - 1, samples_.size() - 1)];
+}
+
+std::map<std::string, std::int64_t> Metrics::counters() const {
+  std::map<std::string, std::int64_t> out;
+  for (MetricId id = 0; id < counters_.size(); ++id) {
+    if (counters_[id] != 0) out.emplace(metric_name(id), counters_[id]);
+  }
+  return out;
+}
+
+std::map<std::string, const Histogram*> Metrics::histograms() const {
+  std::map<std::string, const Histogram*> out;
+  for (MetricId id = 0; id < histograms_.size(); ++id) {
+    if (!histograms_[id].empty()) out.emplace(metric_name(id), &histograms_[id]);
+  }
+  return out;
 }
 
 }  // namespace gcs

@@ -1,6 +1,13 @@
 /// \file metrics.hpp
 /// Simple metrics: counters and latency histograms with percentile queries.
 ///
+/// Names are interned process-wide into dense MetricIds; each Metrics
+/// registry stores its counters and histograms in plain vectors indexed by
+/// id, so the hot path (`inc(id)`) is one bounds check and an add — no map
+/// walk, no string hashing, and no allocation once an id has been touched.
+/// The string-keyed API remains for registration, tests and one-off reads;
+/// hot layers intern once (usually at construction) and use the id overloads.
+///
 /// Benchmarks (bench/) run protocols under virtual time and report
 /// virtual-time latencies; Histogram stores raw samples (simulations are
 /// small enough) so exact percentiles can be reported.
@@ -10,11 +17,27 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/types.hpp"
 
 namespace gcs {
+
+/// Dense id of an interned metric name. Counters and histograms share one
+/// id space; the same id may back a counter in one registry and a histogram
+/// in another (in practice names are used consistently).
+using MetricId = std::uint32_t;
+
+/// Intern \p name, returning its stable process-wide id (idempotent).
+MetricId metric_id(std::string_view name);
+
+/// Lookup without interning; kNoMetric if never interned.
+inline constexpr MetricId kNoMetric = 0xffffffffu;
+MetricId find_metric(std::string_view name);
+
+/// Reverse lookup (reporting).
+std::string_view metric_name(MetricId id);
 
 /// Collection of raw duration samples with summary statistics.
 class Histogram {
@@ -30,7 +53,8 @@ class Histogram {
   Duration min() const;
   Duration max() const;
   double mean() const;
-  /// Exact percentile by nearest-rank, q in [0, 100].
+  /// Exact percentile by nearest-rank (rank = ceil(q/100 * n), 1-based),
+  /// q in [0, 100]. q = 0 returns the minimum, q = 100 the maximum.
   Duration percentile(double q) const;
 
   const std::vector<Duration>& samples() const { return samples_; }
@@ -43,24 +67,42 @@ class Histogram {
   void sort() const;
 };
 
-/// Named counters + histograms, one registry per experiment run.
+/// Counters + histograms, one registry per experiment run (or per network).
+/// Storage is dense vectors indexed by interned MetricId.
 class Metrics {
  public:
-  void inc(const std::string& name, std::int64_t delta = 1) { counters_[name] += delta; }
-  std::int64_t counter(const std::string& name) const {
-    auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second;
+  // -- id-keyed hot path ----------------------------------------------------
+  void inc(MetricId id, std::int64_t delta = 1) {
+    if (id >= counters_.size()) counters_.resize(id + 1, 0);
+    counters_[id] += delta;
+  }
+  std::int64_t counter(MetricId id) const {
+    return id < counters_.size() ? counters_[id] : 0;
   }
 
-  void observe(const std::string& name, Duration sample) { histograms_[name].add(sample); }
-  const Histogram& histogram(const std::string& name) const {
+  void observe(MetricId id, Duration sample) {
+    if (id >= histograms_.size()) histograms_.resize(id + 1);
+    histograms_[id].add(sample);
+  }
+  const Histogram& histogram(MetricId id) const {
     static const Histogram kEmpty;
-    auto it = histograms_.find(name);
-    return it == histograms_.end() ? kEmpty : it->second;
+    return id < histograms_.size() ? histograms_[id] : kEmpty;
   }
 
-  const std::map<std::string, std::int64_t>& counters() const { return counters_; }
-  const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+  // -- string-keyed convenience (interns on write, looks up on read) --------
+  void inc(const std::string& name, std::int64_t delta = 1) { inc(metric_id(name), delta); }
+  std::int64_t counter(const std::string& name) const { return counter(find_metric(name)); }
+
+  void observe(const std::string& name, Duration sample) { observe(metric_id(name), sample); }
+  const Histogram& histogram(const std::string& name) const {
+    return histogram(find_metric(name));
+  }
+
+  /// Snapshot of all non-zero counters, name-sorted (deterministic across
+  /// runs with identical behaviour — determinism_test hashes this).
+  std::map<std::string, std::int64_t> counters() const;
+  /// Snapshot of all non-empty histograms, name-sorted.
+  std::map<std::string, const Histogram*> histograms() const;
 
   void clear() {
     counters_.clear();
@@ -68,8 +110,8 @@ class Metrics {
   }
 
  private:
-  std::map<std::string, std::int64_t> counters_;
-  std::map<std::string, Histogram> histograms_;
+  std::vector<std::int64_t> counters_;  // indexed by MetricId
+  std::vector<Histogram> histograms_;   // indexed by MetricId
 };
 
 }  // namespace gcs

@@ -20,7 +20,11 @@ World::Config cfg(int n, std::uint64_t seed = 1, StackConfig sc = {}) {
 }
 
 TEST(Stack, EndToEndMixedWorkload) {
-  World w(cfg(4));
+  // On assertion failure the recorder dumps the recent protocol history.
+  test::FlightRecorder fr;
+  StackConfig sc;
+  fr.install(sc);
+  World w(cfg(4, 1, sc));
   std::vector<test::DeliveryLog> alogs(4);
   std::vector<test::DeliveryLog> glogs(4);
   for (ProcessId p = 0; p < 4; ++p) {
@@ -147,7 +151,10 @@ TEST(Stack, SendersNeverBlockDuringViewChange) {
 
 TEST(Stack, GenericBroadcastAndMembershipCompose) {
   // gbcast traffic across a membership change stays safe.
-  World w(cfg(5, 13));
+  test::FlightRecorder fr;
+  StackConfig sc;
+  fr.install(sc);
+  World w(cfg(5, 13, sc));
   std::vector<test::DeliveryLog> glogs(5);
   for (ProcessId p = 0; p < 5; ++p) {
     w.stack(p).on_gdeliver([&glogs, p](const MsgId& id, MsgClass, const Bytes& b) {

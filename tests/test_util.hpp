@@ -2,11 +2,17 @@
 /// Shared helpers for the nggcs test suite.
 #pragma once
 
+#include <cstdio>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include <gtest/gtest.h>
+
 #include "core/stack.hpp"
+#include "obs/exporters.hpp"
+#include "obs/trace.hpp"
 #include "util/types.hpp"
 
 namespace gcs::test {
@@ -54,5 +60,50 @@ inline bool consistent_prefix(const std::vector<MsgId>& a, const std::vector<Msg
   }
   return true;
 }
+
+/// Post-mortem flight recorder for protocol tests.
+///
+/// Construct one before the World and pass `fr.install(config.stack)` (or
+/// set `config.stack.recorder = fr.recorder()` yourself). Tracing runs into
+/// a bounded ring during the test; nothing is printed while the test
+/// passes. If the test has a failed assertion when the FlightRecorder goes
+/// out of scope, the last `tail` records (optionally restricted to one
+/// process) are dumped to stderr, so the failure comes with the protocol
+/// history that led to it.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 4096, std::size_t tail = 64)
+      : recorder_(std::make_shared<obs::Recorder>(capacity)), tail_(tail) {}
+
+  ~FlightRecorder() {
+    if (!::testing::Test::HasFailure()) return;
+    const auto records = recorder_->tail(proc_, tail_);
+    if (records.empty()) return;
+    std::fprintf(stderr, "--- flight recorder: last %zu trace records%s ---\n",
+                 records.size(),
+                 proc_ == kNoProcess ? ""
+                                     : (" (p" + std::to_string(proc_) + ")").c_str());
+    for (const obs::Record& r : records) {
+      std::fprintf(stderr, "%s\n", obs::format_record(r).c_str());
+    }
+    std::fprintf(stderr, "--- end flight recorder ---\n");
+  }
+
+  /// Wire the recorder into a stack config (chainable at World setup).
+  StackConfig& install(StackConfig& config) {
+    config.recorder = recorder_;
+    return config;
+  }
+
+  /// Restrict the failure dump to one process's records.
+  void focus(ProcessId proc) { proc_ = proc; }
+
+  const std::shared_ptr<obs::Recorder>& recorder() const { return recorder_; }
+
+ private:
+  std::shared_ptr<obs::Recorder> recorder_;
+  std::size_t tail_;
+  ProcessId proc_ = kNoProcess;
+};
 
 }  // namespace gcs::test

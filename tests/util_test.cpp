@@ -188,6 +188,57 @@ TEST(Histogram, Empty) {
   EXPECT_EQ(h.percentile(50), 0);
 }
 
+TEST(Histogram, SingleSample) {
+  Histogram h;
+  h.add(42);
+  // Every percentile of a one-sample distribution is that sample.
+  EXPECT_EQ(h.percentile(0), 42);
+  EXPECT_EQ(h.percentile(1), 42);
+  EXPECT_EQ(h.percentile(50), 42);
+  EXPECT_EQ(h.percentile(99), 42);
+  EXPECT_EQ(h.percentile(100), 42);
+  EXPECT_EQ(h.min(), 42);
+  EXPECT_EQ(h.max(), 42);
+  EXPECT_DOUBLE_EQ(h.mean(), 42.0);
+}
+
+TEST(Histogram, NearestRankIsExactOnSmallSets) {
+  Histogram h;
+  h.add(10);
+  h.add(20);
+  h.add(30);
+  h.add(40);
+  // Nearest-rank: rank = ceil(q/100 * n), 1-based. For n=4:
+  // q=25 -> rank 1, q=50 -> rank 2, q=75 -> rank 3, q=76 -> rank 4.
+  EXPECT_EQ(h.percentile(25), 10);
+  EXPECT_EQ(h.percentile(50), 20);
+  EXPECT_EQ(h.percentile(75), 30);
+  EXPECT_EQ(h.percentile(76), 40);
+  EXPECT_EQ(h.percentile(100), 40);
+}
+
+TEST(Histogram, DuplicateSamples) {
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.add(7);
+  h.add(100);
+  EXPECT_EQ(h.percentile(50), 7);
+  EXPECT_EQ(h.percentile(90), 7);
+  EXPECT_EQ(h.percentile(100), 100);
+  EXPECT_EQ(h.min(), 7);
+  EXPECT_EQ(h.max(), 100);
+}
+
+TEST(Histogram, OutOfRangeQuantilesClamp) {
+  Histogram h;
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  EXPECT_EQ(h.percentile(-5), 1);    // clamps to min
+  EXPECT_EQ(h.percentile(0), 1);
+  EXPECT_EQ(h.percentile(100), 3);
+  EXPECT_EQ(h.percentile(250), 3);   // clamps to max
+}
+
 TEST(Histogram, InterleavedAddAndQuery) {
   Histogram h;
   h.add(10);
@@ -211,6 +262,52 @@ TEST(Metrics, CountersAndHistograms) {
   EXPECT_EQ(m.histogram("missing").count(), 0u);
   m.clear();
   EXPECT_EQ(m.counter("a"), 0);
+}
+
+TEST(Metrics, InternedIdsAreStableAndShared) {
+  // Interning the same name twice yields the same id, process-wide.
+  const MetricId a1 = metric_id("interned.test.a");
+  const MetricId a2 = metric_id("interned.test.a");
+  const MetricId b = metric_id("interned.test.b");
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+  EXPECT_EQ(metric_name(a1), "interned.test.a");
+  EXPECT_EQ(find_metric("interned.test.b"), b);
+  EXPECT_EQ(find_metric("interned.test.never-registered"), kNoMetric);
+}
+
+TEST(Metrics, IdAndStringPathsObserveTheSameSlot) {
+  Metrics m;
+  const MetricId id = metric_id("interned.test.counter");
+  m.inc(id, 4);
+  m.inc("interned.test.counter", 1);
+  EXPECT_EQ(m.counter(id), 5);
+  EXPECT_EQ(m.counter("interned.test.counter"), 5);
+  const MetricId h = metric_id("interned.test.hist");
+  m.observe(h, 10);
+  m.observe("interned.test.hist", 20);
+  EXPECT_EQ(m.histogram(h).count(), 2u);
+  EXPECT_EQ(m.histogram("interned.test.hist").max(), 20);
+}
+
+TEST(Metrics, ReadOfUnknownNameDoesNotIntern) {
+  Metrics m;
+  EXPECT_EQ(m.counter("interned.test.read-only-probe"), 0);
+  // A pure read must not have registered the name.
+  EXPECT_EQ(find_metric("interned.test.read-only-probe"), kNoMetric);
+}
+
+TEST(Metrics, CountersSnapshotIsSortedAndNonZeroOnly) {
+  Metrics m;
+  m.inc("z.last", 2);
+  m.inc("a.first", 1);
+  m.inc("m.zeroed", 5);
+  m.inc("m.zeroed", -5);
+  const auto snap = m.counters();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap.begin()->first, "a.first");
+  EXPECT_EQ(snap.rbegin()->first, "z.last");
+  EXPECT_EQ(snap.count("m.zeroed"), 0u);  // zero counters are elided
 }
 
 TEST(Types, MsgIdOrdering) {
