@@ -70,6 +70,7 @@ RunStats run_new_arch() {
   config.n = kProcs;
   config.seed = 11;
   World world(config);
+  OracleScope oracle(world, "e1/new_arch");
   Histogram latency;
   std::map<MsgId, TimePoint> sent_time;
   std::size_t delivered = 0;
@@ -129,9 +130,10 @@ RunStats run_traditional(traditional::GmVsStack::Ordering ordering) {
 }  // namespace
 }  // namespace gcs::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gcs;
   using namespace gcs::bench;
+  oracle_setup(argc, argv);
   banner("E1: architecture comparison (paper Figs 1-5 vs Figs 6/7/9)",
          "identical failure-free workload: " + std::to_string(kMessages) +
              " abcasts over 4 processes, one per 2ms per sender; virtual-time metrics");
@@ -160,5 +162,5 @@ int main() {
       "The sequencer is the latency floor (2 hops); the consensus-based new\n"
       "architecture pays more messages for NOT needing membership below it —\n"
       "the benefit shows under failures (E4) and view changes (E5).\n");
-  return 0;
+  return oracle_verdict();
 }

@@ -29,6 +29,7 @@ Outcome race(Duration change_lead, std::uint64_t seed) {
   config.seed = seed;
   config.stack.conflict = ConflictRelation::update_primary_change();
   World world(config);
+  OracleScope oracle(world, "e2/passive");
   world.found_group_all();
   PassiveReplication::Config pcfg;
   pcfg.auto_primary_change = false;
@@ -79,9 +80,10 @@ Outcome race(Duration change_lead, std::uint64_t seed) {
 }  // namespace
 }  // namespace gcs::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gcs;
   using namespace gcs::bench;
+  oracle_setup(argc, argv);
   banner("E2: Fig 8 - passive replication, update vs primary-change race",
          "update (class: update) from primary p0 races primary-change (class:\n"
          "primary-change) from backup p1; 50 seeds per head-start setting");
@@ -112,5 +114,6 @@ int main() {
               "two outcomes; the head start shifts the distribution but never\n"
               "produces divergence. diverged column must be 0. (%s)\n",
               total_diverged == 0 ? "OK" : "VIOLATION!");
-  return total_diverged == 0 ? 0 : 1;
+  if (total_diverged != 0) return 1;
+  return oracle_verdict();
 }

@@ -47,6 +47,7 @@ RunStats run(bool use_generic, const std::vector<bool>& pattern) {
   config.seed = 5;
   config.stack.conflict = ConflictRelation::rbcast_abcast();
   World world(config);
+  OracleScope oracle(world, "e3/genbcast");
   std::vector<std::unique_ptr<GenericActiveReplication>> replicas;
   for (ProcessId p = 0; p < kProcs; ++p) {
     replicas.push_back(std::make_unique<GenericActiveReplication>(
@@ -102,9 +103,10 @@ RunStats run(bool use_generic, const std::vector<bool>& pattern) {
 }  // namespace
 }  // namespace gcs::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gcs;
   using namespace gcs::bench;
+  oracle_setup(argc, argv);
   banner("E3: generic broadcast vs atomic broadcast (paper §4.2)",
          "200 bank commands over 4 replicas; conflict fraction = share of\n"
          "withdrawals; baseline = same workload with abcast for everything");
@@ -135,5 +137,5 @@ int main() {
       "%.1fx at 0%% conflicts (no consensus at all) and converges towards the\n"
       "abcast cost as everything conflicts (%.1fx) — the §4.2 claim.\n",
       best_speedup, worst_speedup);
-  return 0;
+  return oracle_verdict();
 }

@@ -72,6 +72,7 @@ Disruption run_new(Duration suspect_timeout, bool false_suspicion, std::uint64_t
   config.stack.consensus_suspect_timeout = suspect_timeout;
   config.stack.monitoring.exclusion_timeout = sec(3);  // monitoring stays slow
   World world(config);
+  OracleScope oracle(world, "e4/responsiveness");
   std::map<MsgId, TimePoint> sent_at;
   Duration worst = 0;
   TimePoint fault_time = 0;
@@ -176,9 +177,10 @@ Disruption run_traditional(Duration suspect_timeout, bool false_suspicion,
 }  // namespace
 }  // namespace gcs::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gcs;
   using namespace gcs::bench;
+  oracle_setup(argc, argv);
   banner("E4: responsiveness under failures (paper §4.3)",
          "steady abcast traffic; fault injected at t=300ms; 'stall' = worst\n"
          "send->deliver latency caused by the fault (virtual ms)");
@@ -213,5 +215,5 @@ int main() {
       "cannot have them: ANY false suspicion kills a healthy member (view\n"
       "change + state transfer), while the new architecture shrugs it off\n"
       "with one extra consensus round and never excludes anyone (§3.1.3).\n");
-  return 0;
+  return oracle_verdict();
 }

@@ -84,6 +84,7 @@ JoinStats run_new(std::uint64_t seed) {
   config.n = kProcs;
   config.seed = seed;
   World world(config);
+  OracleScope oracle(world, "e5/join");
   std::map<MsgId, TimePoint> sent_at;
   Duration worst_after = 0, worst_before = 0;
   const TimePoint join_time = msec(200);
@@ -121,9 +122,10 @@ JoinStats run_new(std::uint64_t seed) {
 }  // namespace
 }  // namespace gcs::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gcs;
   using namespace gcs::bench;
+  oracle_setup(argc, argv);
   banner("E5: view-change blocking (paper §4.4)",
          "a joiner arrives at t=200ms while 3 members send 1 msg/ms each;\n"
          "sending view delivery (traditional) vs same view delivery (new)");
@@ -144,5 +146,5 @@ int main() {
       "change and queues their messages; the new architecture never blocks —\n"
       "its worst latency around the join stays at the baseline, because a\n"
       "view change is just one more message in the total order.\n");
-  return 0;
+  return oracle_verdict();
 }

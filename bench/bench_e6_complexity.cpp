@@ -78,6 +78,7 @@ Counts run_new() {
   config.seed = 23;
   config.stack.monitoring.exclusion_timeout = msec(700);
   World world(config);
+  OracleScope oracle(world, "e6/new_arch");
   world.found_group({0, 1, 2, 3});
   int sent = 0;
   std::function<void()> tick = [&] {
@@ -103,9 +104,10 @@ Counts run_new() {
 }  // namespace
 }  // namespace gcs::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gcs;
   using namespace gcs::bench;
+  oracle_setup(argc, argv);
   banner("E6: stack complexity - where is ordering solved? (paper §4.1)",
          "identical churn workload (100 msgs + 1 join + 1 crash) per stack;\n"
          "counting every engagement of every ordering mechanism");
@@ -130,5 +132,5 @@ int main() {
       "(per-message sequencing, the VS flush, and view agreement); the new\n"
       "architecture routes messages, view changes AND generic-broadcast\n"
       "resolutions through one consensus sequence (§4.1: less complex).\n");
-  return 0;
+  return oracle_verdict();
 }

@@ -200,6 +200,7 @@ void BM_AbcastBatch(benchmark::State& state) {
     World::Config config;
     config.n = 4;
     World world(config);
+    bench::OracleScope oracle(world, "e7/abcast");
     std::size_t delivered = 0;
     world.stack(0).on_adeliver([&](const MsgId&, const Bytes&) { ++delivered; });
     world.found_group_all();
@@ -220,6 +221,7 @@ void BM_GbcastFastPath(benchmark::State& state) {
     World::Config config;
     config.n = 4;
     World world(config);
+    bench::OracleScope oracle(world, "e7/gbcast");
     std::size_t delivered = 0;
     world.stack(0).on_gdeliver([&](const MsgId&, MsgClass, const Bytes&) { ++delivered; });
     world.found_group_all();
@@ -485,7 +487,9 @@ int main(int argc, char** argv) {
   std::vector<char*> gbench_args;
   gbench_args.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) {
+    if (std::strcmp(argv[i], "--oracle") == 0) {
+      gcs::bench::OracleGate::enabled() = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
       json_mode = true;
       json_path = "BENCH_kernel.json";
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
@@ -501,5 +505,5 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(gargc, gbench_args.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  return gcs::bench::oracle_verdict();
 }

@@ -108,6 +108,7 @@ BatchResult abcast_batching(Duration send_gap) {
   config.n = 4;
   config.seed = 3;
   World world(config);
+  OracleScope oracle(world, "e8/abcast_batching");
   std::size_t delivered = 0;
   world.stack(0).on_adeliver([&](const MsgId&, const Bytes&) { ++delivered; });
   world.found_group_all();
@@ -144,6 +145,7 @@ ResolveResult gb_resolve_timeout(Duration resolve_timeout) {
   // deadline path has to fire.
   config.link.drop_probability = 0.15;
   World world(config);
+  OracleScope oracle(world, "e8/gb_resolve_timeout");
   Histogram lat;
   std::map<MsgId, TimePoint> sent_at;
   std::size_t delivered = 0;
@@ -186,6 +188,8 @@ QuorumResult gb_quorum(int quorum_override, int runs) {
     config.link.jitter = usec(400);
     config.stack.gb.unsafe_fast_quorum_override = quorum_override;
     World world(config);
+    // Sub-2n/3 quorums violate on purpose: that is the ablation's point.
+    OracleScope oracle(world, "e8/gb_quorum", /*check=*/quorum_override >= 3);
     // Per-process delivery order of conflicting (class-1) messages.
     std::vector<std::vector<MsgId>> orders(4);
     std::map<MsgId, TimePoint> sent;
@@ -252,6 +256,7 @@ AlgoResult consensus_algo(StackConfig::ConsensusAlgo algo) {
   config.seed = 6;
   config.stack.consensus_algorithm = algo;
   World world(config);
+  OracleScope oracle(world, "e8/consensus_algo");
   Histogram lat;
   std::map<MsgId, TimePoint> sent;
   std::size_t delivered = 0;
@@ -312,6 +317,7 @@ BatchingResult channel_batching(Duration batch_delay) {
   config.seed = 12;
   config.stack.channel.batch_delay = batch_delay;
   World world(config);
+  OracleScope oracle(world, "e8/channel_batching");
   Histogram lat;
   std::map<MsgId, TimePoint> sent;
   std::size_t delivered = 0;
@@ -341,9 +347,10 @@ BatchingResult channel_batching(Duration batch_delay) {
 }  // namespace
 }  // namespace gcs::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gcs;
   using namespace gcs::bench;
+  oracle_setup(argc, argv);
   banner("E8: design-choice ablations",
          "knobs of this implementation, each with its measured trade-off");
 
@@ -431,5 +438,5 @@ int main() {
   std::printf("    -> consensus bursts (estimate/propose/ack per instance) pack into\n"
               "       shared frames; the batch delay trades datagram count against a\n"
               "       latency floor bump.\n");
-  return 0;
+  return oracle_verdict();
 }

@@ -31,6 +31,7 @@ Point run_new_abcast(int n) {
   config.n = n;
   config.seed = 4;
   World world(config);
+  OracleScope oracle(world, "e9/abcast");
   Histogram lat;
   std::map<MsgId, TimePoint> sent;
   std::size_t delivered = 0;
@@ -70,6 +71,7 @@ Point run_new_gbcast_fast(int n) {
   config.n = n;
   config.seed = 4;
   World world(config);
+  OracleScope oracle(world, "e9/gbcast_fast");
   Histogram lat;
   std::map<MsgId, TimePoint> sent;
   std::size_t delivered = 0;
@@ -152,9 +154,10 @@ Point run_traditional_sequencer(int n) {
 }  // namespace
 }  // namespace gcs::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gcs;
   using namespace gcs::bench;
+  oracle_setup(argc, argv);
   banner("E9: group-size scaling (extension)",
          "failure-free mean latency (virtual ms) and network messages per\n"
          "broadcast as the group grows; 60 broadcasts, one per 2ms");
@@ -176,5 +179,5 @@ int main() {
       "O(n) for the sequencer, O(n^2) for consensus-based abcast and for the\n"
       "generic-broadcast fast path (n^2 ACKs, but tiny and consensus-free).\n"
       "FD heartbeat background traffic is subtracted analytically.\n");
-  return 0;
+  return oracle_verdict();
 }

@@ -98,6 +98,7 @@ Scenario run_generic_broadcast(double conflict_fraction) {
   config.seed = 11;
   config.stack.conflict = ConflictRelation::rbcast_abcast();
   World world(config);
+  OracleScope oracle(world, "protocol_json/gbcast");
   int delivered = 0;
   for (ProcessId p = 0; p < n; ++p) {
     world.stack(p).on_gdeliver([&delivered](const MsgId&, MsgClass, const Bytes&) {
@@ -141,6 +142,7 @@ Scenario run_view_change() {
   config.n = n;
   config.seed = 17;
   World world(config);
+  OracleScope oracle(world, "protocol_json/abcast");
   int delivered = 0;
   world.stack(1).on_adeliver([&delivered](const MsgId&, const Bytes&) { ++delivered; });
   world.found_group({0, 1, 2, 3});
@@ -245,8 +247,11 @@ int run_suite(const std::string& json_path) {
 
 int main(int argc, char** argv) {
   std::string json_path = "BENCH_protocol.json";
+  gcs::bench::oracle_setup(argc, argv);
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
   }
-  return gcs::bench::run_suite(json_path);
+  const int rc = gcs::bench::run_suite(json_path);
+  const int oracle_rc = gcs::bench::oracle_verdict();
+  return rc != 0 ? rc : oracle_rc;
 }

@@ -8,11 +8,15 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/stack.hpp"
+#include "obs/oracle.hpp"
 #include "util/metrics.hpp"
 
 namespace gcs::bench {
@@ -87,6 +91,72 @@ inline std::string fmt_double(double v, int digits = 2) {
 inline void banner(const std::string& title, const std::string& subtitle) {
   std::printf("\n=== %s ===\n%s\n\n", title.c_str(), subtitle.c_str());
 }
+
+/// ---- protocol-oracle gating (--oracle / NGGCS_BENCH_ORACLE=1) -------------
+///
+/// Benchmarks measure; the oracle certifies. Off by default, so the
+/// measured hot path pays nothing beyond one null check per tap. When
+/// enabled, every World wrapped in an OracleScope runs under obs::Oracle;
+/// online safety violations are printed and flip the bench's exit status
+/// to nonzero (CI's oracle sweep). Bench workloads routinely end
+/// mid-flight, so only the online properties are checked — there is no
+/// finalize-time agreement pass here.
+struct OracleGate {
+  static bool& enabled() {
+    static bool on = std::getenv("NGGCS_BENCH_ORACLE") != nullptr;
+    return on;
+  }
+  static int& violated_runs() {
+    static int n = 0;
+    return n;
+  }
+};
+
+/// Call first thing in main(): recognizes --oracle.
+inline void oracle_setup(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--oracle") OracleGate::enabled() = true;
+  }
+}
+
+/// Call last in main(): per-process verdict, 1 iff any checked run violated.
+inline int oracle_verdict() {
+  if (!OracleGate::enabled()) return 0;
+  if (OracleGate::violated_runs() > 0) {
+    std::printf("\n[oracle] %d run(s) violated protocol safety\n",
+                OracleGate::violated_runs());
+    return 1;
+  }
+  std::printf("\n[oracle] all checked runs clean\n");
+  return 0;
+}
+
+/// RAII oracle attachment for one World; construct right after the World
+/// (so the scope dies first) and before found_group()/join(). Pass
+/// check=false for deliberately unsafe ablations (e.g. E8's sub-2n/3 fast
+/// quorum) whose violations are the point, not a failure.
+class OracleScope {
+ public:
+  OracleScope(World& world, std::string label, bool check = true)
+      : label_(std::move(label)) {
+    if (!OracleGate::enabled() || !check) return;
+    oracle_ = std::make_unique<obs::Oracle>();
+    world.attach_oracle(*oracle_);
+  }
+  ~OracleScope() {
+    if (!oracle_ || oracle_->passed()) return;
+    ++OracleGate::violated_runs();
+    std::printf("[oracle] VIOLATIONS in %s:\n%s", label_.c_str(),
+                oracle_->summary().c_str());
+  }
+
+  OracleScope(const OracleScope&) = delete;
+  OracleScope& operator=(const OracleScope&) = delete;
+
+ private:
+  std::string label_;
+  std::unique_ptr<obs::Oracle> oracle_;
+};
 
 /// Escape a string for embedding in a JSON document (BENCH_*.json reports).
 inline std::string json_escape(const std::string& s) {

@@ -45,6 +45,7 @@ MsgId AtomicBroadcast::abcast(SubTag subtag, Bytes payload) {
   ctx_.metrics().inc(m_broadcasts_);
   const MsgId id = rbcast_.broadcast(enc.take());
   ctx_.trace_instant(obs::Names::get().abcast_submit, id, subtag);
+  if (observe_submit_) observe_submit_(id, subtag);
   return id;
 }
 
@@ -154,9 +155,11 @@ void AtomicBroadcast::on_decide(std::uint64_t k, const Bytes& value) {
     // defensively so the delivery order never depends on the proposer.
     std::sort(entries.begin(), entries.end(),
               [](const Entry& a, const Entry& b) { return a.id < b.id; });
+    const std::uint64_t instance = next_instance_;
     ++next_instance_;
     instance_running_ = false;
-    for (const Entry& e : entries) {
+    for (std::size_t idx = 0; idx < entries.size(); ++idx) {
+      const Entry& e = entries[idx];
       if (!adelivered_.insert(e.id).second) continue;  // already ordered
       if (auto pit = pending_.find(e.id); pit != pending_.end()) {
         ctx_.metrics().observe(h_order_latency_, ctx_.now() - pit->second.since);
@@ -166,6 +169,9 @@ void AtomicBroadcast::on_decide(std::uint64_t k, const Bytes& value) {
       ++delivered_count_;
       ctx_.metrics().inc(m_delivered_);
       ctx_.trace_instant(obs::Names::get().abcast_deliver, e.id, e.subtag);
+      if (observe_deliver_) {
+        observe_deliver_(e.id, e.subtag, instance, static_cast<std::uint32_t>(idx));
+      }
       if (e.subtag < subscribers_.size()) {
         for (const auto& fn : subscribers_[e.subtag]) fn(e.id, e.payload);
       }

@@ -80,6 +80,23 @@ class AtomicBroadcast {
   /// Number of messages adelivered locally.
   std::uint64_t delivered_count() const { return delivered_count_; }
 
+  /// Messages rdelivered but not yet ordered (probe gauge).
+  std::size_t pending_count() const { return pending_.size(); }
+
+  /// Oracle taps. The delivery observer reports the global total-order
+  /// coordinate of each adelivery: consensus instance k plus the message's
+  /// index within the decided batch (position in the MsgId-sorted decision
+  /// value, which is identical at every process by consensus agreement —
+  /// including entries a process skips as already delivered, so the
+  /// coordinate never depends on local dedup state).
+  using SubmitObserver = std::function<void(const MsgId&, SubTag)>;
+  using DeliverObserver =
+      std::function<void(const MsgId&, SubTag, std::uint64_t instance, std::uint32_t index)>;
+  void set_observer(SubmitObserver on_submit, DeliverObserver on_deliver) {
+    observe_submit_ = std::move(on_submit);
+    observe_deliver_ = std::move(on_deliver);
+  }
+
  private:
   struct Pending {
     SubTag subtag;
@@ -106,6 +123,8 @@ class AtomicBroadcast {
   std::map<std::uint64_t, Bytes> decision_buffer_;  // out-of-order decisions
   std::vector<std::vector<DeliverFn>> subscribers_;
   std::uint64_t delivered_count_ = 0;
+  SubmitObserver observe_submit_;
+  DeliverObserver observe_deliver_;
 };
 
 }  // namespace gcs

@@ -56,6 +56,8 @@ void ReliableBroadcast::broadcast_with_id(const MsgId& id, Bytes payload) {
   ctx_.trace_instant(obs::Names::get().rbcast_flood, id,
                      static_cast<std::int64_t>(payload.size()));
   ctx_.trace_instant(obs::Names::get().rbcast_deliver, id);
+  if (observe_broadcast_) observe_broadcast_(id);
+  if (observe_deliver_) observe_deliver_(id);
   for (const auto& fn : deliver_fns_) fn(id, payload);
 }
 
@@ -82,6 +84,7 @@ void ReliableBroadcast::handle_data(const Bytes& wire) {
     // Lazy mode: no relay at all — NOT uniform (see header).
     ctx_.metrics().inc(m_delivered_);
     ctx_.trace_instant(obs::Names::get().rbcast_deliver, id);
+    if (observe_deliver_) observe_deliver_(id);
     for (const auto& fn : deliver_fns_) fn(id, body);
     return;
   }
@@ -90,6 +93,7 @@ void ReliableBroadcast::handle_data(const Bytes& wire) {
   ctx_.metrics().inc(m_delivered_);
   ctx_.trace_instant(obs::Names::get().rbcast_relay, id);
   ctx_.trace_instant(obs::Names::get().rbcast_deliver, id);
+  if (observe_deliver_) observe_deliver_(id);
   for (const auto& fn : deliver_fns_) fn(id, body);
 }
 

@@ -77,8 +77,17 @@ class ReliableBroadcast {
   /// floors are "number of stable messages", i.e. seqs < floor are stable).
   std::uint64_t stable_floor(ProcessId sender) const;
 
-  /// Dedup-set size (tests assert boundedness).
+  /// Dedup-set size (tests assert boundedness; probe gauge).
   std::size_t dedup_size() const { return seen_.size(); }
+
+  /// Oracle taps: message origination (the local broadcast call actually
+  /// admitting a fresh id) and local rdelivery. The wiring layer closes
+  /// over this instance's wire tag, so the callbacks carry only the id.
+  using Observer = std::function<void(const MsgId&)>;
+  void set_observer(Observer on_broadcast, Observer on_deliver) {
+    observe_broadcast_ = std::move(on_broadcast);
+    observe_deliver_ = std::move(on_deliver);
+  }
 
   /// Joiner state transfer: the donor's receive watermarks. A joiner
   /// adopting them reports the donor's reception state in its gossip (its
@@ -107,6 +116,8 @@ class ReliableBroadcast {
   std::uint64_t next_seq_ = 0;
   std::unordered_set<MsgId> seen_;
   std::vector<DeliverFn> deliver_fns_;
+  Observer observe_broadcast_;
+  Observer observe_deliver_;
   bool non_uniform_ = false;
 
   // Stability state.

@@ -73,6 +73,17 @@ class ReliableChannel {
   /// Datagrams actually emitted (tests assert batching effectiveness).
   std::int64_t datagrams_sent() const { return datagrams_sent_; }
 
+  /// Total send-queue depth across all peers: every buffered message,
+  /// transmitted-but-unacked and flow-control-held alike (probe gauge).
+  std::size_t total_send_queue() const {
+    std::size_t n = 0;
+    for (const auto& [to, peer] : out_) {
+      (void)to;
+      n += peer.unacked.size();
+    }
+    return n;
+  }
+
  private:
   struct Outgoing {
     Tag upper;

@@ -63,6 +63,15 @@ class Consensus final : public ConsensusProtocol {
   /// Number of instances decided locally (an "ordering work" metric).
   std::int64_t instances_decided() const override { return decided_count_; }
 
+  std::int64_t open_instances() const override {
+    std::int64_t n = 0;
+    for (const auto& [k, inst] : instances_) {
+      (void)k;
+      if (!inst.decided) ++n;
+    }
+    return n;
+  }
+
   /// Garbage-collect decision values for instances < \p k. Late DECIDE
   /// echoes for a forgotten instance re-fire on_decide; all users guard
   /// with their own sequencing (atomic broadcast: instance < next;

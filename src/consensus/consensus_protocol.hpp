@@ -38,6 +38,10 @@ class ConsensusProtocol {
   /// Number of instances decided locally (ordering-work metric).
   virtual std::int64_t instances_decided() const = 0;
 
+  /// Instances currently tracked locally and not yet decided (probe gauge:
+  /// open = in-flight ordering work).
+  virtual std::int64_t open_instances() const = 0;
+
   /// Garbage-collect decision values for instances < \p k.
   virtual void forget_below(std::uint64_t k) = 0;
 };

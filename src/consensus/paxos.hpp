@@ -40,6 +40,14 @@ class PaxosConsensus final : public ConsensusProtocol {
   void on_decide(DecideFn fn) override { decide_fns_.push_back(std::move(fn)); }
   bool decided(std::uint64_t k) const override { return decisions_.count(k) != 0; }
   std::int64_t instances_decided() const override { return decided_count_; }
+  std::int64_t open_instances() const override {
+    std::int64_t n = 0;
+    for (const auto& [k, inst] : instances_) {
+      (void)k;
+      if (!inst.decided) ++n;
+    }
+    return n;
+  }
   void forget_below(std::uint64_t k) override;
 
  private:

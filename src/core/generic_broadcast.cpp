@@ -66,6 +66,7 @@ MsgId GenericBroadcast::gbcast(MsgClass cls, Bytes payload) {
   ctx_.metrics().inc(m_broadcasts_);
   const MsgId id = rbcast_.broadcast(enc.take());
   ctx_.trace_instant(obs::Names::get().gb_submit, id, cls);
+  if (observe_submit_) observe_submit_(id, cls);
   return id;
 }
 
@@ -137,8 +138,9 @@ void GenericBroadcast::maybe_fast_deliver(const MsgId& id) {
 }
 
 void GenericBroadcast::deliver(const MsgId& id, MsgClass cls, const Bytes& payload,
-                               bool fast) {
+                               bool fast, std::uint32_t pos) {
   if (!delivered_.insert(id).second) return;
+  if (observe_deliver_) observe_deliver_(id, cls, round_, fast, pos);
   const obs::Names& names = obs::Names::get();
   if (!fast) {
     ++resolved_deliveries_;
@@ -225,13 +227,17 @@ void GenericBroadcast::maybe_finalize_round() {
   // std::map iteration is MsgId-ordered already; keep the sort explicit.
   std::sort(first.begin(), first.end());
   std::sort(second.begin(), second.end());
+  // Positions are batch-absolute across the first+second sequence, so every
+  // member attributes the same (round, pos) coordinate to each message even
+  // though each skips its own fast-delivered prefix inside deliver().
+  std::uint32_t pos = 0;
   for (const MsgId& id : first) {
     const auto& [cls, payload] = report_union_.at(id);
-    deliver(id, cls, payload, /*fast=*/false);
+    deliver(id, cls, payload, /*fast=*/false, pos++);
   }
   for (const MsgId& id : second) {
     const auto& [cls, payload] = report_union_.at(id);
-    deliver(id, cls, payload, /*fast=*/false);
+    deliver(id, cls, payload, /*fast=*/false, pos++);
   }
   ++rounds_resolved_;
   ctx_.metrics().inc(m_rounds_resolved_);

@@ -107,6 +107,22 @@ class GenericBroadcast {
   std::uint64_t resolved_deliveries() const { return resolved_deliveries_; }
   std::uint64_t rounds_resolved() const { return rounds_resolved_; }
   std::uint64_t current_round() const { return round_; }
+  /// Messages seen (payload cached) and not yet garbage collected — the
+  /// current round's working set (probe gauge).
+  std::size_t store_size() const { return store_.size(); }
+
+  /// Oracle taps. The delivery observer reports each gdelivery's global
+  /// coordinate: the GB round, whether it took the fast path, and — for
+  /// resolution deliveries — the message's batch-absolute position in the
+  /// round's deterministic first+second sequence (identical at every
+  /// member; positions of locally skipped entries are simply unused).
+  using SubmitObserver = std::function<void(const MsgId&, MsgClass)>;
+  using DeliverObserver = std::function<void(const MsgId&, MsgClass, std::uint64_t round,
+                                             bool fast, std::uint32_t pos)>;
+  void set_observer(SubmitObserver on_submit, DeliverObserver on_deliver) {
+    observe_submit_ = std::move(on_submit);
+    observe_deliver_ = std::move(on_deliver);
+  }
 
  private:
   struct Stored {
@@ -124,7 +140,8 @@ class GenericBroadcast {
   void trigger_resolution();
   void on_report(const MsgId& report_id, const Bytes& wire);
   void maybe_finalize_round();
-  void deliver(const MsgId& id, MsgClass cls, const Bytes& payload, bool fast);
+  void deliver(const MsgId& id, MsgClass cls, const Bytes& payload, bool fast,
+               std::uint32_t pos = 0);
   void start_new_round();
   int fast_quorum() const;
   int report_need() const;
@@ -163,6 +180,8 @@ class GenericBroadcast {
   std::map<MsgId, std::pair<MsgClass, Bytes>> report_union_;
 
   std::vector<DeliverFn> deliver_fns_;
+  SubmitObserver observe_submit_;
+  DeliverObserver observe_deliver_;
   std::uint64_t fast_deliveries_ = 0;
   std::uint64_t resolved_deliveries_ = 0;
   std::uint64_t rounds_resolved_ = 0;

@@ -39,6 +39,7 @@ void GroupMembership::init_view(std::vector<ProcessId> members) {
   abcast_.init(view_.members);
   if (gbcast_) gbcast_->set_group(view_.members);
   ++views_installed_;
+  if (observe_view_) observe_view_(view_.id, view_.members, /*via_state_transfer=*/false);
   for (const auto& fn : view_fns_) fn(view_);
 }
 
@@ -61,6 +62,7 @@ void GroupMembership::remove(ProcessId q) {
   if (!is_member() || !view_.contains(q)) return;
   if (!pending_removes_.insert(q).second) return;  // already proposed
   ctx_.metrics().inc("membership.removes_proposed");
+  if (observe_remove_) observe_remove_(q, /*voluntary=*/q == ctx_self());
   Encoder enc;
   enc.put_byte(kOpRemove);
   enc.put_i32(q);
@@ -159,6 +161,7 @@ void GroupMembership::install_view(View v) {
   // the total order, so instance member sets agree everywhere.
   abcast_.set_members(view_.members);
   if (gbcast_) gbcast_->set_group(view_.members);
+  if (observe_view_) observe_view_(view_.id, view_.members, /*via_state_transfer=*/false);
   for (const auto& fn : view_fns_) fn(view_);
 }
 
@@ -199,6 +202,7 @@ void GroupMembership::install_state(const Bytes& payload) {
                      MsgId{obs::kViewKey, view_.id},
                      static_cast<std::int64_t>(view_.members.size()));
   if (gbcast_) gbcast_->set_group(view_.members);
+  if (observe_view_) observe_view_(view_.id, view_.members, /*via_state_transfer=*/true);
   for (const auto& fn : view_fns_) fn(view_);
 }
 

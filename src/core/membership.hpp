@@ -88,6 +88,18 @@ class GroupMembership {
   /// Number of view changes installed (metric for E4/E5/E6).
   std::uint64_t views_installed() const { return views_installed_; }
 
+  /// Oracle taps: every locally installed view (flagging the ones learned
+  /// by state transfer, which have no previous-view baseline to diff), and
+  /// every locally issued removal proposal (voluntary == leave()).
+  using ViewObserver = std::function<void(std::uint64_t view_id,
+                                          const std::vector<ProcessId>& members,
+                                          bool via_state_transfer)>;
+  using RemoveObserver = std::function<void(ProcessId target, bool voluntary)>;
+  void set_observer(ViewObserver on_view, RemoveObserver on_remove) {
+    observe_view_ = std::move(on_view);
+    observe_remove_ = std::move(on_remove);
+  }
+
  private:
   ProcessId ctx_self() const;
   void on_channel_message(ProcessId from, const Bytes& payload);
@@ -107,6 +119,8 @@ class GroupMembership {
   std::set<ProcessId> pending_removes_;  // dedup of remove abcasts
   std::vector<ViewFn> view_fns_;
   std::vector<ExcludedFn> excluded_fns_;
+  ViewObserver observe_view_;
+  RemoveObserver observe_remove_;
   SnapshotProvider snapshot_provider_;
   SnapshotInstaller snapshot_installer_;
   std::uint64_t views_installed_ = 0;

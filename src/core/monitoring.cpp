@@ -87,6 +87,7 @@ void Monitoring::add_vote(ProcessId voter, ProcessId q) {
   if (static_cast<int>(voters.size()) >= config_.suspicion_threshold) {
     ctx_.metrics().inc("monitoring.exclusions_requested");
     ctx_.trace_instant(obs::Names::get().monitoring_exclusion, MsgId{}, q);
+    if (observe_exclusion_) observe_exclusion_(q, static_cast<int>(voters.size()));
     membership_.remove(q);
   }
 }
@@ -106,6 +107,7 @@ void Monitoring::check_output_buffers() {
         // Output-triggered suspicion: the buffered message can only be
         // discarded by excluding q from the membership.
         ctx_.metrics().inc("monitoring.output_triggered");
+        if (observe_exclusion_) observe_exclusion_(q, 0);
         membership_.remove(q);
       }
     }

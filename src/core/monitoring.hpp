@@ -54,6 +54,18 @@ class Monitoring {
   const Config& config() const { return config_; }
   void set_suspicion_threshold(int t) { config_.suspicion_threshold = t; }
 
+  /// Members currently suspected (long class) by anyone we know of — the
+  /// open vote count (probe gauge).
+  std::size_t open_votes() const { return votes_.size(); }
+
+  /// Oracle tap: this process decided to exclude \p target, backed by
+  /// \p votes distinct long-class suspicions (0 for the output-triggered
+  /// policy, which needs no vote).
+  using ExclusionObserver = std::function<void(ProcessId target, int votes)>;
+  void set_observer(ExclusionObserver on_exclusion) {
+    observe_exclusion_ = std::move(on_exclusion);
+  }
+
  private:
   void on_long_suspect(ProcessId q);
   void on_long_restore(ProcessId q);
@@ -74,6 +86,7 @@ class Monitoring {
   std::map<ProcessId, std::set<ProcessId>> votes_;
   // Members monitored as of the last view, to unmonitor the removed ones.
   std::vector<ProcessId> monitored_;
+  ExclusionObserver observe_exclusion_;
 };
 
 }  // namespace gcs

@@ -80,8 +80,85 @@ void GcsStack::leave() {
 }
 
 void GcsStack::crash() {
+  if (oracle_) oracle_->note_crash(ctx_->self());
   ctx_->kill();
   if (network_) network_->crash(ctx_->self());
+}
+
+void GcsStack::attach_oracle(obs::Oracle& oracle) {
+  oracle_ = &oracle;
+  obs::Oracle* o = &oracle;
+  const ProcessId self = ctx_->self();
+
+  abcast_->set_observer(
+      [o, self](const MsgId& m, AtomicBroadcast::SubTag st) { o->on_abcast_submit(self, m); (void)st; },
+      [o, self](const MsgId& m, AtomicBroadcast::SubTag st, std::uint64_t k,
+                std::uint32_t idx) { o->on_adeliver(self, m, st, k, idx); });
+
+  const auto rb_tap = [o, self](ReliableBroadcast& rb, Tag tag) {
+    const auto t = static_cast<std::uint8_t>(tag);
+    rb.set_observer([o, self, t](const MsgId& m) { o->on_rb_broadcast(self, t, m); },
+                    [o, self, t](const MsgId& m) { o->on_rb_deliver(self, t, m); });
+  };
+  rb_tap(*ab_rbcast_, Tag::kRbcast);
+  rb_tap(*gb_rbcast_, Tag::kGbData);
+  rb_tap(*cb_rbcast_, Tag::kCbcast);
+
+  gbcast_->set_observer(
+      [o, self](const MsgId& m, MsgClass cls) { o->on_gb_submit(self, m, cls); },
+      [o, self](const MsgId& m, MsgClass cls, std::uint64_t round, bool fast,
+                std::uint32_t pos) { o->on_gdeliver(self, m, cls, round, fast, pos); });
+
+  membership_->set_observer(
+      [o, self](std::uint64_t view_id, const std::vector<ProcessId>& members,
+                bool via_state_transfer) {
+        o->on_view_install(self, view_id, members, via_state_transfer);
+      },
+      [o, self](ProcessId target, bool voluntary) {
+        o->on_remove_proposed(self, target, voluntary);
+      });
+
+  monitoring_->set_observer(
+      [o, self](ProcessId target, int votes) { o->on_exclusion_decided(self, target, votes); });
+
+  fd_->on_suspect(consensus_fd_class_,
+                  [o, self](ProcessId q) { o->on_suspicion(self, q, /*long_class=*/false); });
+  fd_->on_restore(consensus_fd_class_,
+                  [o, self](ProcessId q) { o->on_restore(self, q, /*long_class=*/false); });
+  fd_->on_suspect(monitoring_->fd_class(),
+                  [o, self](ProcessId q) { o->on_suspicion(self, q, /*long_class=*/true); });
+  fd_->on_restore(monitoring_->fd_class(),
+                  [o, self](ProcessId q) { o->on_restore(self, q, /*long_class=*/true); });
+}
+
+void GcsStack::attach_probes(obs::Probes& probes) {
+  const ProcessId self = ctx_->self();
+  probes.add_gauge(self, "probe.channel.send_queue", [this] {
+    return static_cast<double>(channel_->total_send_queue());
+  });
+  probes.add_gauge(self, "probe.rbcast.dedup", [this] {
+    return static_cast<double>(ab_rbcast_->dedup_size() + gb_rbcast_->dedup_size());
+  });
+  probes.add_gauge(self, "probe.abcast.pending", [this] {
+    return static_cast<double>(abcast_->pending_count());
+  });
+  probes.add_gauge(self, "probe.consensus.open", [this] {
+    return static_cast<double>(consensus_->open_instances());
+  });
+  probes.add_gauge(self, "probe.gb.store", [this] {
+    return static_cast<double>(gbcast_->store_size());
+  });
+  probes.add_gauge(self, "probe.gb.fast_ratio", [this] {
+    const double total = static_cast<double>(gbcast_->fast_deliveries() +
+                                             gbcast_->resolved_deliveries());
+    return total == 0 ? 1.0 : static_cast<double>(gbcast_->fast_deliveries()) / total;
+  });
+  probes.add_gauge(self, "probe.fd.suspected", [this] {
+    return static_cast<double>(fd_->suspected(consensus_fd_class_).size());
+  });
+  probes.add_gauge(self, "probe.monitoring.votes", [this] {
+    return static_cast<double>(monitoring_->open_votes());
+  });
 }
 
 World::World(Config config)
@@ -101,6 +178,22 @@ void World::found_group_all() {
   std::vector<ProcessId> all;
   for (int p = 0; p < size(); ++p) all.push_back(p);
   found_group(all);
+}
+
+void World::attach_oracle(obs::Oracle& oracle) {
+  if (!stacks_.empty()) {
+    // All stacks share one StackConfig, hence one conflict relation.
+    const ConflictRelation rel = stacks_.front()->generic_broadcast().relation();
+    oracle.set_conflicts(
+        [rel](std::uint8_t a, std::uint8_t b) { return rel.conflicts(a, b); });
+  }
+  for (auto& s : stacks_) s->attach_oracle(oracle);
+}
+
+void World::enable_probes(obs::Probes& probes, Duration cadence) {
+  for (auto& s : stacks_) s->attach_probes(probes);
+  probe_timer_.start(engine_, cadence,
+                     [&probes](TimePoint now) { probes.sample(now); });
 }
 
 }  // namespace gcs

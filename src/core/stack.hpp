@@ -33,6 +33,8 @@
 #include "core/membership.hpp"
 #include "core/monitoring.hpp"
 #include "fd/failure_detector.hpp"
+#include "obs/oracle.hpp"
+#include "obs/probes.hpp"
 #include "obs/trace.hpp"
 #include "sim/context.hpp"
 #include "sim/network.hpp"
@@ -128,6 +130,23 @@ class GcsStack {
   /// The flight recorder installed via StackConfig, or null.
   const std::shared_ptr<obs::Recorder>& recorder() const { return recorder_; }
 
+  /// -- global observability ---------------------------------------------
+
+  /// Tap every component of this process into the simulation-global
+  /// \p oracle: abcast submits/adeliveries (with consensus-instance
+  /// coordinates), rbcast floods/rdeliveries per wire tag, gbcast
+  /// submits/gdeliveries (with round/phase coordinates), view installs,
+  /// removal proposals, monitoring exclusions and FD suspicion
+  /// transitions. The oracle must outlive the stack. Call before
+  /// init_view()/join() so the founding events are observed too.
+  void attach_oracle(obs::Oracle& oracle);
+
+  /// Register this process's state gauges (channel send queue, rbcast
+  /// dedup set, open consensus instances, GB fast-path ratio and working
+  /// set, FD suspicions, monitoring votes) with \p probes. The stack must
+  /// outlive the probe sampler.
+  void attach_probes(obs::Probes& probes);
+
  private:
   void wire(StackConfig config);
 
@@ -147,6 +166,7 @@ class GcsStack {
   std::unique_ptr<GroupMembership> membership_;
   std::unique_ptr<Monitoring> monitoring_;
   sim::Network* network_;
+  obs::Oracle* oracle_ = nullptr;
 };
 
 /// Convenience harness: one engine + network + a GcsStack per process.
@@ -172,6 +192,15 @@ class World {
   /// All processes 0..n-1 found the group.
   void found_group_all();
 
+  /// Attach the simulation-global \p oracle to every stack and install the
+  /// stacks' conflict relation as its GB conflict predicate. Call before
+  /// found_group()/join so founding views are observed.
+  void attach_oracle(obs::Oracle& oracle);
+
+  /// Register every stack's gauges with \p probes and start sampling them
+  /// every \p cadence of virtual time. \p probes must outlive the World.
+  void enable_probes(obs::Probes& probes, Duration cadence);
+
   void run_for(Duration d) { engine_.run_until(engine_.now() + d); }
   void run(std::uint64_t max_events = 50'000'000) { engine_.run(max_events); }
   void crash(ProcessId p) { stack(p).crash(); }
@@ -180,6 +209,7 @@ class World {
   sim::Engine engine_;
   sim::Network network_;
   std::vector<std::unique_ptr<GcsStack>> stacks_;
+  sim::PeriodicTimer probe_timer_;
 };
 
 }  // namespace gcs

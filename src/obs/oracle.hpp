@@ -1,0 +1,268 @@
+/// \file oracle.hpp
+/// Omniscient protocol oracle: one simulation-global checker that consumes
+/// delivery / view / exclusion events from EVERY process of a run and
+/// certifies the paper's safety properties online.
+///
+/// The oracle is deliberately dumb about protocol internals: components
+/// report *what happened* (message m adelivered at p as element `index` of
+/// consensus instance `k`; m gdelivered at p in GB round r on the fast
+/// path; view v installed at p; removal of q proposed by p), and the
+/// oracle checks that the global event stream is consistent with:
+///
+///   Atomic broadcast
+///     ab.total_order      every process walks the same (instance, index)
+///                         sequence, and (instance, index) -> MsgId is a
+///                         global function (disagreement on a decision, a
+///                         reordering, or a duplicate all break this);
+///     ab.no_duplication   no process adelivers the same message twice;
+///     ab.no_creation      everything adelivered was first abcast;
+///     ab.uniform_agreement (finalize-time) every stable member delivered
+///                         every coordinate anyone delivered.
+///
+///   Reliable broadcast (per wire tag / instance)
+///     rb.integrity        everything rdelivered was broadcast;
+///     rb.no_duplication   at most one rdelivery per (process, message).
+///
+///   Generic broadcast
+///     gb.conflict_order   two CONFLICTING messages never both fast-deliver
+///                         in one round (the quorum-intersection safety
+///                         core), resolution positions (round, pos) -> m
+///                         form a global function, and every process's
+///                         (round, phase, pos) coordinates are monotone;
+///     gb.fast_path_stability  a message's delivery round is globally
+///                         unique: a fast delivery is never contradicted /
+///                         reordered by a later resolution elsewhere;
+///     gb.no_duplication / gb.no_creation as for ab;
+///     gb.agreement        (finalize-time) stable members delivered every
+///                         gbcast message anyone delivered.
+///
+///   Membership
+///     view.agreement      view id -> member list is a global function;
+///     view.monotonicity   per process, installed view ids strictly grow;
+///     membership.accountability  a member only disappears from a view if
+///                         its removal was previously proposed — by the
+///                         monitoring component (i.e. it was suspected
+///                         with the long timeout class), by an explicit
+///                         administrative remove(), or by a voluntary
+///                         leave. Silent exclusions are violations.
+///
+/// Checks are O(1) amortized per event (hash-map lookups); finalize() adds
+/// one O(N log N) pass for the agreement properties, which are only
+/// meaningful after a run has settled. A violation never throws: it is
+/// recorded as a structured Violation (offending process, MsgId, view /
+/// instance / round coordinates, human detail) that tests turn into
+/// failures and reports serialize, ready to cross-reference against the
+/// flight recorder's trace tail.
+///
+/// The oracle lives in obs and knows nothing about the stack; see
+/// GcsStack::attach_oracle() / World::attach_oracle() for the tap wiring.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace gcs::obs {
+
+/// The properties the oracle certifies. Order is the report order.
+enum class Property : std::uint8_t {
+  kAbTotalOrder = 0,
+  kAbNoDuplication,
+  kAbNoCreation,
+  kAbUniformAgreement,
+  kRbIntegrity,
+  kRbNoDuplication,
+  kGbConflictOrder,
+  kGbFastPathStability,
+  kGbNoDuplication,
+  kGbNoCreation,
+  kGbAgreement,
+  kViewAgreement,
+  kViewMonotonicity,
+  kExclusionAccountability,
+  kCount_,  // sentinel
+};
+
+inline constexpr std::size_t kPropertyCount = static_cast<std::size_t>(Property::kCount_);
+
+/// Stable snake-case name used in reports and CI ("ab.total_order", ...).
+std::string_view property_name(Property p);
+
+/// Per-property verdict in a report.
+enum class Verdict : std::uint8_t {
+  kPass,        ///< checked, no violation
+  kViolated,    ///< at least one violation recorded
+  kNotChecked,  ///< finalize-only property on a run that never finalized
+};
+
+std::string_view verdict_name(Verdict v);
+
+/// One structured property violation.
+struct Violation {
+  Property property;
+  ProcessId proc = kNoProcess;  ///< process at which the violation surfaced
+  MsgId msg{};                  ///< offending message (if any)
+  MsgId other{};                ///< second message of a conflicting pair (if any)
+  std::int64_t a = 0;           ///< property-specific: instance / round / view id
+  std::int64_t b = 0;           ///< property-specific: index / position / subject
+  std::string detail;           ///< human-readable explanation
+};
+
+class Oracle {
+ public:
+  Oracle();
+
+  /// Conflict predicate for generic broadcast classes (install the stack's
+  /// ConflictRelation via a lambda). Unset = nothing conflicts.
+  void set_conflicts(std::function<bool(std::uint8_t, std::uint8_t)> fn) {
+    conflicts_ = std::move(fn);
+  }
+
+  /// -- taps (called by the wired components; see stack.cpp) -------------
+
+  void on_abcast_submit(ProcessId p, const MsgId& m);
+  void on_adeliver(ProcessId p, const MsgId& m, std::uint8_t subtag,
+                   std::uint64_t instance, std::uint32_t index);
+  void on_rb_broadcast(ProcessId p, std::uint8_t tag, const MsgId& m);
+  void on_rb_deliver(ProcessId p, std::uint8_t tag, const MsgId& m);
+  void on_gb_submit(ProcessId p, const MsgId& m, std::uint8_t cls);
+  void on_gdeliver(ProcessId p, const MsgId& m, std::uint8_t cls,
+                   std::uint64_t round, bool fast, std::uint32_t pos);
+  void on_view_install(ProcessId p, std::uint64_t view_id,
+                       const std::vector<ProcessId>& members, bool via_state_transfer);
+  /// A removal of \p target was proposed (monitoring decision, explicit
+  /// administrative remove, or voluntary leave when target == proposer).
+  void on_remove_proposed(ProcessId proposer, ProcessId target, bool voluntary);
+  /// The monitoring component decided to exclude \p target backed by
+  /// \p votes long-class suspicions.
+  void on_exclusion_decided(ProcessId at, ProcessId target, int votes);
+  /// Failure-detector suspicion / restore transitions (statistics and the
+  /// accountability trail; long_class = monitoring's exclusion class).
+  void on_suspicion(ProcessId at, ProcessId target, bool long_class);
+  void on_restore(ProcessId at, ProcessId target, bool long_class);
+  /// Process \p p crashed (fault injection); exempts it from the
+  /// finalize-time agreement properties.
+  void note_crash(ProcessId p);
+
+  /// -- end-of-run checks ------------------------------------------------
+
+  /// Run the agreement (completeness) checks. Call once, after the run has
+  /// settled: a mid-flight finalize would report in-flight messages as
+  /// agreement violations. Online safety properties are unaffected.
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  /// -- results ----------------------------------------------------------
+
+  Verdict verdict(Property p) const;
+  /// True iff no property is violated.
+  bool passed() const { return violations_.empty() && truncated_violations_ == 0; }
+  const std::vector<Violation>& violations() const { return violations_; }
+  /// Violations dropped once the bounded list filled up.
+  std::uint64_t truncated_violations() const { return truncated_violations_; }
+  std::uint64_t violation_count(Property p) const {
+    return violation_counts_[static_cast<std::size_t>(p)];
+  }
+
+  /// Event-stream statistics (reports; also a cheap sanity signal that the
+  /// taps were actually wired).
+  struct Stats {
+    std::uint64_t abcast_submits = 0;
+    std::uint64_t adeliveries = 0;
+    std::uint64_t rb_broadcasts = 0;
+    std::uint64_t rb_deliveries = 0;
+    std::uint64_t gb_submits = 0;
+    std::uint64_t gdeliveries = 0;
+    std::uint64_t gb_fast_deliveries = 0;
+    std::uint64_t view_installs = 0;
+    std::uint64_t remove_proposals = 0;
+    std::uint64_t exclusion_decisions = 0;
+    std::uint64_t suspicions = 0;
+    std::uint64_t long_suspicions = 0;
+    std::uint64_t crashes = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// One line per property ("ab.total_order: pass"), then the violations.
+  std::string summary() const;
+
+ private:
+  struct PerProcess {
+    // Atomic broadcast.
+    bool ab_seen = false;
+    std::uint64_t ab_last_coord = 0;  // packed (instance, index); valid iff ab_seen
+    std::uint64_t ab_delivered = 0;
+    std::unordered_set<MsgId> ab_delivered_set;
+    // Generic broadcast. Packed (round, phase, pos); valid iff gb_seen.
+    bool gb_seen = false;
+    std::uint64_t gb_last_coord = 0;
+    std::uint64_t gb_delivered = 0;
+    std::unordered_set<MsgId> gb_delivered_set;
+    // Membership.
+    bool has_view = false;
+    std::uint64_t view_id = 0;
+    std::vector<ProcessId> view_members;
+    bool joined_late = false;  // first view learned by state transfer
+    bool crashed = false;
+    bool was_excluded = false;
+  };
+
+  struct TagState {
+    std::unordered_set<MsgId> broadcast;
+    std::unordered_map<ProcessId, std::unordered_set<MsgId>> delivered;
+  };
+
+  PerProcess& proc(ProcessId p);
+  void violate(Property prop, Violation v);
+  bool conflict(std::uint8_t a, std::uint8_t b) const {
+    return conflicts_ ? conflicts_(a, b) : false;
+  }
+
+  std::function<bool(std::uint8_t, std::uint8_t)> conflicts_;
+  std::vector<PerProcess> procs_;
+  Stats stats_;
+
+  // Atomic broadcast global state.
+  std::unordered_set<MsgId> ab_submitted_;
+  std::unordered_map<std::uint64_t, MsgId> ab_coord_msg_;  // packed coord -> msg
+  std::unordered_map<MsgId, std::uint64_t> ab_msg_coord_;
+  std::uint64_t ab_max_coord_ = 0;
+  bool ab_any_ = false;
+
+  // Reliable broadcast, per wire tag.
+  std::unordered_map<std::uint8_t, TagState> rb_;
+
+  // Generic broadcast global state.
+  std::unordered_map<MsgId, std::uint8_t> gb_submitted_;  // msg -> class
+  std::unordered_map<MsgId, std::uint64_t> gb_msg_round_;
+  std::unordered_map<MsgId, bool> gb_msg_seen_fast_;
+  std::unordered_map<std::uint64_t, MsgId> gb_resolution_msg_;  // (round,pos) -> msg
+  // Distinct messages fast-delivered per round, grouped by class. Classes
+  // are few; each class keeps the first id only (a second distinct id in a
+  // self-conflicting class is already a violation).
+  std::unordered_map<std::uint64_t,
+                     std::unordered_map<std::uint8_t, std::vector<MsgId>>>
+      gb_fast_by_round_;
+  std::uint64_t gb_distinct_delivered_ = 0;
+
+  // Membership global state.
+  std::unordered_map<std::uint64_t, std::vector<ProcessId>> view_members_;
+  std::unordered_map<ProcessId, std::uint64_t> removal_justifications_;
+  // (view_id << 16 | target): accountability already judged for this pair.
+  std::unordered_set<std::uint64_t> accountability_checked_;
+
+  // Verdict bookkeeping.
+  std::vector<Violation> violations_;
+  std::uint64_t truncated_violations_ = 0;
+  std::uint64_t violation_counts_[kPropertyCount] = {};
+  bool finalized_ = false;
+
+  static constexpr std::size_t kMaxViolations = 64;
+};
+
+}  // namespace gcs::obs

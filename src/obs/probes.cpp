@@ -1,0 +1,36 @@
+#include "obs/probes.hpp"
+
+namespace gcs::obs {
+
+void Probes::add_gauge(ProcessId p, std::string_view name, Gauge gauge) {
+  gauges_.push_back({std::move(gauge)});
+  Series s;
+  s.proc = p;
+  s.metric = metric_id(name);
+  series_.push_back(std::move(s));
+}
+
+void Probes::sample(TimePoint now) {
+  ++samples_taken_;
+  if ((samples_taken_ - 1) % stride_ != 0) return;
+
+  timestamps_.push_back(now);
+  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+    series_[i].values.push_back(gauges_[i].fn ? gauges_[i].fn() : 0.0);
+  }
+
+  if (max_points_ > 1 && timestamps_.size() >= max_points_) {
+    // Keep every other retained point and double the stride: memory stays
+    // O(max_points) while the series still spans the whole run.
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < timestamps_.size(); r += 2, ++w) {
+      timestamps_[w] = timestamps_[r];
+      for (Series& s : series_) s.values[w] = s.values[r];
+    }
+    timestamps_.resize(w);
+    for (Series& s : series_) s.values.resize(w);
+    stride_ *= 2;
+  }
+}
+
+}  // namespace gcs::obs

@@ -1,0 +1,49 @@
+/// \file report.hpp
+/// Scenario health reports: one `scenario_report.json` per run plus a
+/// compact text summary.
+///
+/// A report bundles everything a run produced for the outside world:
+///   - the oracle's verdict per property and every recorded violation
+///     (structured: property, process, MsgIds, coordinates, detail);
+///   - the oracle's event-stream statistics (tap-wiring sanity signal);
+///   - the probe time-series (shared virtual-time axis, one series per
+///     registered (process, metric) gauge);
+///   - final counters and latency-histogram summaries from the run's
+///     Metrics registry.
+///
+/// The JSON is deterministic for a deterministic run: counters and
+/// histograms are emitted name-sorted, violations and probe series in
+/// their (deterministic) recording order, and nothing touches wall-clock
+/// time — determinism_test byte-compares two same-seed reports.
+///
+/// write_scenario_report() resolves the output directory from the
+/// NGGCS_REPORT_DIR environment variable (unset = don't write, so plain
+/// local test runs stay quiet; CI sets it and schema-checks + uploads the
+/// artifacts).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "obs/oracle.hpp"
+#include "obs/probes.hpp"
+#include "util/metrics.hpp"
+
+namespace gcs::obs {
+
+/// Render the full scenario report as a JSON document. \p probes and
+/// \p metrics may be null (the corresponding sections are emitted empty).
+std::string render_scenario_report(const std::string& scenario, std::uint64_t seed,
+                                   const Oracle& oracle, const Probes* probes,
+                                   const Metrics* metrics);
+
+/// Compact human summary: one line per property, then the violations.
+std::string render_scenario_summary(const std::string& scenario, const Oracle& oracle);
+
+/// Write \p json to `<dir>/scenario_report_<scenario>.json` where dir comes
+/// from NGGCS_REPORT_DIR. Returns the path written, or nullopt when the
+/// variable is unset/empty (not an error) — and nullopt on I/O failure.
+std::optional<std::string> write_scenario_report(const std::string& scenario,
+                                                 const std::string& json);
+
+}  // namespace gcs::obs

@@ -33,6 +33,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <vector>
@@ -170,6 +171,53 @@ class Engine {
   std::vector<std::unique_ptr<Node[]>> pool_;  ///< stable-address node chunks
   std::uint32_t pool_count_ = 0;
   std::uint32_t free_head_ = kNil;
+};
+
+/// Self-rescheduling fixed-cadence timer: calls \p fn(now) every
+/// \p interval of virtual time until stopped or destroyed. The probe
+/// sampler rides on this; it is generic enough for any periodic
+/// simulation-global hook (the per-process layers keep using
+/// Context::after, which is gated on process liveness — this one is not).
+class PeriodicTimer {
+ public:
+  using TickFn = std::function<void(TimePoint)>;
+
+  PeriodicTimer() = default;
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+  ~PeriodicTimer() { stop(); }
+
+  /// Start ticking on \p engine every \p interval; the first tick fires one
+  /// interval from now. Restarting an active timer re-arms it.
+  void start(Engine& engine, Duration interval, TickFn fn) {
+    stop();
+    engine_ = &engine;
+    interval_ = interval < 1 ? 1 : interval;
+    fn_ = std::move(fn);
+    arm();
+  }
+
+  void stop() {
+    if (engine_ && timer_ != kNoTimer) engine_->cancel(timer_);
+    timer_ = kNoTimer;
+    engine_ = nullptr;
+  }
+
+  bool active() const { return engine_ != nullptr; }
+
+ private:
+  void arm() {
+    timer_ = engine_->schedule_after(interval_, [this] {
+      timer_ = kNoTimer;
+      fn_(engine_->now());
+      if (engine_) arm();  // fn_ may have called stop()
+    });
+  }
+
+  Engine* engine_ = nullptr;
+  Duration interval_ = 0;
+  TickFn fn_;
+  TimerId timer_ = kNoTimer;
 };
 
 }  // namespace gcs::sim

@@ -49,30 +49,22 @@ void Histogram::sort() const {
   }
 }
 
-Duration Histogram::min() const {
-  if (samples_.empty()) return 0;
-  sort();
-  return samples_.front();
-}
-
-Duration Histogram::max() const {
-  if (samples_.empty()) return 0;
-  sort();
-  return samples_.back();
-}
-
-double Histogram::mean() const {
-  if (samples_.empty()) return 0.0;
-  double sum = 0.0;
-  for (Duration s : samples_) sum += static_cast<double>(s);
-  return sum / static_cast<double>(samples_.size());
+void Histogram::decimate() {
+  // Uniform thinning: keep every other retained sample and double the keep
+  // stride, so memory stays O(cap) while the retained set still covers the
+  // whole run. (If a query sorted samples_ in the meantime, this thins the
+  // sorted array — equally uniform, still deterministic per run.)
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < samples_.size(); r += 2, ++w) samples_[w] = samples_[r];
+  samples_.resize(w);
+  stride_ *= 2;
 }
 
 Duration Histogram::percentile(double q) const {
-  if (samples_.empty()) return 0;
+  if (samples_.empty()) return min();
   sort();
-  if (q <= 0) return samples_.front();
-  if (q >= 100) return samples_.back();
+  if (q <= 0) return min();   // exact even when decimated
+  if (q >= 100) return max();
   // Nearest-rank: the smallest sample such that at least q% of samples are
   // <= it. rank is 1-based; the old formula interpolated against n-1 and
   // could land one slot low on small sample counts.

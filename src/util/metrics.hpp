@@ -40,31 +40,81 @@ MetricId find_metric(std::string_view name);
 std::string_view metric_name(MetricId id);
 
 /// Collection of raw duration samples with summary statistics.
+///
+/// Raw-sample growth is bounded: past `sample_cap()` retained samples, the
+/// histogram uniformly decimates (keeps every other retained sample and
+/// doubles its keep stride), so arbitrarily long runs use O(cap) memory.
+/// count()/min()/max()/mean() stay exact (running statistics); percentiles
+/// are exact below the cap and computed over the uniformly thinned sample
+/// set above it. Decimation is a pure function of the add() sequence, so
+/// identical runs stay byte-identical.
 class Histogram {
  public:
+  /// Default retained-sample bound; large enough that every bounded
+  /// experiment keeps exact percentiles.
+  static constexpr std::size_t kDefaultSampleCap = 65536;
+
   void add(Duration sample) {
-    samples_.push_back(sample);
+    if (total_count_ == 0) {
+      min_ = max_ = sample;
+    } else {
+      if (sample < min_) min_ = sample;
+      if (sample > max_) max_ = sample;
+    }
+    sum_ += static_cast<double>(sample);
+    if (total_count_++ % stride_ == 0) {
+      samples_.push_back(sample);
+      sorted_ = false;
+      if (cap_ > 1 && samples_.size() >= cap_) decimate();
+    }
+  }
+
+  /// Total samples observed (exact; retained may be fewer once capped).
+  std::size_t count() const { return total_count_; }
+  bool empty() const { return total_count_ == 0; }
+
+  Duration min() const { return total_count_ == 0 ? 0 : min_; }
+  Duration max() const { return total_count_ == 0 ? 0 : max_; }
+  double mean() const {
+    return total_count_ == 0 ? 0.0 : sum_ / static_cast<double>(total_count_);
+  }
+  /// Nearest-rank percentile (rank = ceil(q/100 * n), 1-based) over the
+  /// retained samples, q in [0, 100]. Exact while count() <= sample_cap().
+  /// q = 0 returns the exact minimum, q = 100 the exact maximum.
+  Duration percentile(double q) const;
+
+  /// Retained (possibly decimated) samples.
+  const std::vector<Duration>& samples() const { return samples_; }
+
+  /// Bound on retained samples; shrinking below the current retained count
+  /// takes effect on the next add(). Cap 0 or 1 disables decimation.
+  std::size_t sample_cap() const { return cap_; }
+  void set_sample_cap(std::size_t cap) { cap_ = cap; }
+  /// Current keep stride (1 = every sample retained, exact percentiles).
+  std::size_t sample_stride() const { return stride_; }
+
+  void clear() {
+    samples_.clear();
+    total_count_ = 0;
+    stride_ = 1;
+    sum_ = 0.0;
+    min_ = max_ = 0;
     sorted_ = false;
   }
 
-  std::size_t count() const { return samples_.size(); }
-  bool empty() const { return samples_.empty(); }
-
-  Duration min() const;
-  Duration max() const;
-  double mean() const;
-  /// Exact percentile by nearest-rank (rank = ceil(q/100 * n), 1-based),
-  /// q in [0, 100]. q = 0 returns the minimum, q = 100 the maximum.
-  Duration percentile(double q) const;
-
-  const std::vector<Duration>& samples() const { return samples_; }
-  void clear() { samples_.clear(); }
-
  private:
+  void decimate();
+  void sort() const;
+
   // Sorted lazily on query.
   mutable std::vector<Duration> samples_;
   mutable bool sorted_ = false;
-  void sort() const;
+  std::size_t cap_ = kDefaultSampleCap;
+  std::size_t stride_ = 1;      // retain every stride-th add()
+  std::size_t total_count_ = 0;
+  double sum_ = 0.0;
+  Duration min_ = 0;
+  Duration max_ = 0;
 };
 
 /// Counters + histograms, one registry per experiment run (or per network).

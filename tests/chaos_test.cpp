@@ -23,6 +23,8 @@ struct ChaosRun {
   static constexpr int kN = 5;
 
   explicit ChaosRun(std::uint64_t seed) : rng(seed ^ 0xabcdef), world(make(seed)) {
+    oracle = std::make_unique<test::ScenarioOracle>(world, msec(50), seed);
+    oracle->set_metrics(&world.stack(0).metrics());
     alogs.resize(kN);
     glogs.resize(kN);
     gcls.resize(kN);
@@ -182,10 +184,16 @@ struct ChaosRun {
     EXPECT_TRUE(test::run_until(world.engine(), sec(30), [&] {
       return alogs[static_cast<std::size_t>(sender)].size() > before;
     })) << "group wedged after chaos";
+    // Let the probe propagate to the other members so the oracle's
+    // finalize-time agreement checks see a fully settled run.
+    world.run_for(sec(2));
   }
 
   Rng rng;
   World world;
+  // Declared after `world` so the oracle finalizes (and reports) before the
+  // world tears down.
+  std::unique_ptr<test::ScenarioOracle> oracle;
   std::vector<test::DeliveryLog> alogs;
   std::vector<std::vector<MsgId>> glogs;
   std::vector<std::map<MsgId, MsgClass>> gcls;

@@ -151,5 +151,50 @@ TEST(Determinism, DifferentSeedsDiffer) {
   EXPECT_NE(run_trace(42, sc), run_trace(4242, sc));
 }
 
+/// The chaos scenario of run_trace() executed under the full oracle +
+/// probe pipeline, reduced to the rendered scenario report. Byte-identical
+/// reports across same-seed runs are what makes CI's report artifacts
+/// diffable.
+std::string run_report(std::uint64_t seed) {
+  World::Config cfg;
+  cfg.n = 5;
+  cfg.seed = seed;
+  cfg.link.jitter = usec(300);
+  cfg.link.drop_probability = 0.05;
+  cfg.stack.monitoring.exclusion_timeout = msec(500);
+  World w(cfg);
+  obs::Oracle oracle;
+  obs::Probes probes;
+  w.attach_oracle(oracle);
+  w.enable_probes(probes, msec(10));
+  w.found_group({0, 1, 2, 3});
+  for (int i = 0; i < 12; ++i) {
+    w.stack(static_cast<ProcessId>(i % 4)).abcast(bytes_of("a" + std::to_string(i)));
+    if (i % 3 == 0) {
+      w.stack(static_cast<ProcessId>((i + 1) % 4))
+          .gbcast(i % 2 ? kAbcastClass : kRbcastClass, bytes_of("g" + std::to_string(i)));
+    }
+    w.run_for(msec(2));
+  }
+  w.stack(4).join(1);
+  w.run_for(msec(50));
+  w.crash(3);
+  w.run_for(sec(2));
+  oracle.finalize();
+  return obs::render_scenario_report("determinism", seed, oracle, &probes,
+                                     &w.stack(0).metrics());
+}
+
+TEST(Determinism, ScenarioReportsAreByteIdentical) {
+  const std::string a = run_report(57);
+  const std::string b = run_report(57);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"passed\":true"), std::string::npos) << a;
+}
+
+TEST(Determinism, ScenarioReportsDependOnSeed) {
+  EXPECT_NE(run_report(57), run_report(58));
+}
+
 }  // namespace
 }  // namespace gcs

@@ -21,6 +21,7 @@ TEST(GbLiveness, ResolutionSurvivesReporterCrashViaExclusion) {
   cfg.seed = 21;
   cfg.stack = sc;
   World w(cfg);
+  test::ScenarioOracle oracle(w, msec(20), 21);
   std::vector<std::vector<MsgId>> logs(5);
   for (ProcessId p = 0; p < 5; ++p) {
     w.stack(p).on_gdeliver([&logs, p](const MsgId& id, MsgClass, const Bytes&) {
@@ -53,6 +54,7 @@ TEST(GbLiveness, ResolutionSurvivesReporterCrashViaExclusion) {
   ASSERT_TRUE(test::run_until(w.engine(), sec(30), [&] {
     return !w.stack(0).view().contains(3) && !w.stack(0).view().contains(4);
   }));
+  w.run_for(sec(1));  // settle before the oracle's finalize-time checks
 }
 
 TEST(GbLiveness, ResolutionAcrossAJoin) {
@@ -63,6 +65,7 @@ TEST(GbLiveness, ResolutionAcrossAJoin) {
   cfg.n = 5;
   cfg.seed = 33;
   World w(cfg);
+  test::ScenarioOracle oracle(w, msec(20), 33);
   std::vector<std::vector<MsgId>> logs(5);
   for (ProcessId p = 0; p < 5; ++p) {
     w.stack(p).on_gdeliver([&logs, p](const MsgId& id, MsgClass, const Bytes&) {
@@ -89,6 +92,7 @@ TEST(GbLiveness, ResolutionAcrossAJoin) {
   ASSERT_TRUE(test::run_until(w.engine(), sec(20), [&] {
     return !logs[4].empty() && logs[0].size() >= 3;
   }));
+  w.run_for(sec(1));  // settle before the oracle's finalize-time checks
 }
 
 TEST(GbLiveness, FastPathRecoversAfterRoundEnds) {
@@ -98,6 +102,7 @@ TEST(GbLiveness, FastPathRecoversAfterRoundEnds) {
   cfg.n = 4;
   cfg.seed = 9;
   World w(cfg);
+  test::ScenarioOracle oracle(w, msec(20), 9);
   std::size_t delivered = 0;
   w.stack(0).on_gdeliver([&](const MsgId&, MsgClass, const Bytes&) { ++delivered; });
   w.found_group_all();
@@ -111,6 +116,7 @@ TEST(GbLiveness, FastPathRecoversAfterRoundEnds) {
   w.run_for(msec(100));
   EXPECT_GT(w.stack(0).generic_broadcast().fast_deliveries(), fast_before);
   EXPECT_EQ(w.stack(0).consensus().instances_decided(), consensus_after_resolution);
+  w.run_for(sec(1));  // settle before the oracle's finalize-time checks
 }
 
 }  // namespace

@@ -33,10 +33,13 @@ struct GbLog {
 struct GbWorld {
   World world;
   std::vector<GbLog> logs;
+  // Declared after `world`: the oracle finalizes before the world tears down.
+  std::unique_ptr<test::ScenarioOracle> oracle;
 
   explicit GbWorld(int n, ConflictRelation rel = ConflictRelation::rbcast_abcast(),
                    std::uint64_t seed = 1, sim::LinkModel link = {})
       : world(make_config(n, std::move(rel), seed, link)), logs(static_cast<std::size_t>(n)) {
+    oracle = std::make_unique<test::ScenarioOracle>(world, msec(20), seed);
     for (ProcessId p = 0; p < n; ++p) {
       auto& log = logs[static_cast<std::size_t>(p)];
       world.stack(p).on_gdeliver(

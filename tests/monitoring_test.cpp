@@ -20,6 +20,7 @@ TEST(Monitoring, CrashedProcessExcludedAfterLongTimeout) {
   StackConfig sc;
   sc.monitoring.exclusion_timeout = msec(500);
   World w(config_with(sc));
+  test::ScenarioOracle oracle(w, msec(20), 1);
   w.found_group_all();
   w.run_for(msec(100));
   const TimePoint crash_at = w.engine().now();
@@ -28,6 +29,7 @@ TEST(Monitoring, CrashedProcessExcludedAfterLongTimeout) {
                               [&] { return !w.stack(0).view().contains(2); }));
   // Exclusion took at least the long timeout (not the short consensus one).
   EXPECT_GE(w.engine().now() - crash_at, msec(500));
+  w.run_for(sec(1));  // settle before the oracle's finalize-time checks
 }
 
 TEST(Monitoring, ShortSuspicionsDoNotExclude) {
@@ -37,6 +39,7 @@ TEST(Monitoring, ShortSuspicionsDoNotExclude) {
   sc.consensus_suspect_timeout = msec(30);
   sc.monitoring.exclusion_timeout = sec(30);
   World w(config_with(sc));
+  test::ScenarioOracle oracle(w, msec(20), 1);
   w.found_group_all();
   w.run_for(msec(100));
   auto& fd = w.stack(0).fd();
@@ -51,6 +54,7 @@ TEST(Monitoring, ThresholdPolicyNeedsMultipleSuspecters) {
   sc.monitoring.exclusion_timeout = sec(60);  // natural suspicion disabled
   sc.monitoring.suspicion_threshold = 2;
   World w(config_with(sc, 4));
+  test::ScenarioOracle oracle(w, msec(20), 1);
   w.found_group_all();
   w.run_for(msec(100));
   // Crash 3 so injected suspicions are not revoked by heartbeats; the
@@ -66,6 +70,7 @@ TEST(Monitoring, ThresholdPolicyNeedsMultipleSuspecters) {
   w.stack(1).fd().inject_suspicion(w.stack(1).monitoring().fd_class(), 3);
   ASSERT_TRUE(test::run_until(w.engine(), sec(10),
                               [&] { return !w.stack(0).view().contains(3); }));
+  w.run_for(sec(1));  // settle before the oracle's finalize-time checks
 }
 
 TEST(Monitoring, ThresholdPolicyExcludesRealCrash) {
@@ -73,6 +78,7 @@ TEST(Monitoring, ThresholdPolicyExcludesRealCrash) {
   sc.monitoring.exclusion_timeout = msec(400);
   sc.monitoring.suspicion_threshold = 3;
   World w(config_with(sc, 4));
+  test::ScenarioOracle oracle(w, msec(20), 1);
   w.found_group_all();
   w.run_for(msec(100));
   w.crash(3);
@@ -80,6 +86,7 @@ TEST(Monitoring, ThresholdPolicyExcludesRealCrash) {
   ASSERT_TRUE(test::run_until(w.engine(), sec(10),
                               [&] { return !w.stack(0).view().contains(3); }));
   EXPECT_EQ(w.stack(0).view().members, (std::vector<ProcessId>{0, 1, 2}));
+  w.run_for(sec(1));  // settle before the oracle's finalize-time checks
 }
 
 TEST(Monitoring, FalseSuspicionRestoredBeforeThresholdIsHarmless) {
@@ -87,6 +94,7 @@ TEST(Monitoring, FalseSuspicionRestoredBeforeThresholdIsHarmless) {
   sc.monitoring.exclusion_timeout = sec(60);
   sc.monitoring.suspicion_threshold = 2;
   World w(config_with(sc, 4));
+  test::ScenarioOracle oracle(w, msec(20), 1);
   w.found_group_all();
   w.run_for(msec(100));
   w.stack(0).fd().inject_suspicion(w.stack(0).monitoring().fd_class(), 3);
@@ -104,6 +112,7 @@ TEST(Monitoring, OutputTriggeredSuspicionExcludesSilentReceiver) {
   sc.monitoring.output_age_limit = msec(300);
   sc.monitoring.output_check_interval = msec(50);
   World w(config_with(sc));
+  test::ScenarioOracle oracle(w, msec(20), 1);
   w.found_group_all();
   w.run_for(msec(100));
   // Crash 2, then have 0 send it a channel message that can never be acked.
@@ -113,12 +122,14 @@ TEST(Monitoring, OutputTriggeredSuspicionExcludesSilentReceiver) {
                               [&] { return !w.stack(0).view().contains(2); }));
   // Exclusion released the buffer (membership calls channel.forget).
   EXPECT_EQ(w.stack(0).channel().unacked_count(2), 0u);
+  w.run_for(sec(1));  // settle before the oracle's finalize-time checks
 }
 
 TEST(Monitoring, ExclusionRequestsAreIdempotent) {
   StackConfig sc;
   sc.monitoring.exclusion_timeout = msec(300);
   World w(config_with(sc, 4));
+  test::ScenarioOracle oracle(w, msec(20), 1);
   w.found_group_all();
   w.run_for(msec(100));
   w.crash(3);

@@ -64,6 +64,7 @@ TEST(MultiClassConflict, IndependentAccountsSkipConsensus) {
   cfg.seed = 3;
   cfg.stack.conflict = per_account_relation(4);
   World w(cfg);
+  test::ScenarioOracle oracle(w, msec(20), 3);
   std::size_t delivered = 0;
   w.stack(0).on_gdeliver([&](const MsgId&, MsgClass, const Bytes&) { ++delivered; });
   w.found_group_all();
@@ -75,6 +76,7 @@ TEST(MultiClassConflict, IndependentAccountsSkipConsensus) {
   ASSERT_TRUE(test::run_until(w.engine(), sec(5), [&] { return delivered >= 4; }));
   EXPECT_EQ(w.stack(0).consensus().instances_decided(), 0)
       << "independent accounts must not pay for ordering";
+  w.run_for(msec(500));  // let the other processes finish before finalize
 }
 
 TEST(MultiClassConflict, SameAccountOrdersConsistently) {
@@ -83,6 +85,7 @@ TEST(MultiClassConflict, SameAccountOrdersConsistently) {
   cfg.seed = 5;
   cfg.stack.conflict = per_account_relation(2);
   World w(cfg);
+  test::ScenarioOracle oracle(w, msec(20), 5);
   // Replay deliveries into per-process banks; same-account races must end
   // in the same state everywhere.
   std::vector<MultiBank> banks(4);
@@ -139,6 +142,7 @@ TEST_P(MultiClassProperty, AccountsConvergeEverywhere) {
   cfg.stack.conflict = per_account_relation(accounts);
   cfg.link.jitter = usec(rng.next_range(0, 500));
   World w(cfg);
+  test::ScenarioOracle oracle(w, msec(20), seed);
   std::vector<MultiBank> banks(4);
   std::vector<std::size_t> counts(4, 0);
   for (ProcessId p = 0; p < 4; ++p) {

@@ -24,6 +24,8 @@ TEST(Partition, MajoritySideKeepsDeciding) {
   StackConfig sc;
   sc.monitoring.exclusion_timeout = sec(60);  // keep membership static here
   World w(cfg(5, 3, sc));
+  test::ScenarioOracle oracle(w, msec(20), 3);
+  oracle.skip_finalize();  // ends partitioned: minority is behind by design
   std::vector<test::DeliveryLog> logs(5);
   for (ProcessId p = 0; p < 5; ++p) {
     w.stack(p).on_adeliver([&logs, p](const MsgId& id, const Bytes& b) {
@@ -47,6 +49,8 @@ TEST(Partition, MinoritySideBlocksInsteadOfDiverging) {
   StackConfig sc;
   sc.monitoring.exclusion_timeout = sec(60);
   World w(cfg(5, 5, sc));
+  test::ScenarioOracle oracle(w, msec(20), 5);
+  oracle.skip_finalize();  // ends partitioned: minority is behind by design
   std::vector<test::DeliveryLog> logs(5);
   for (ProcessId p = 0; p < 5; ++p) {
     w.stack(p).on_adeliver([&logs, p](const MsgId& id, const Bytes& b) {
@@ -71,6 +75,7 @@ TEST(Partition, HealLetsEveryoneCatchUpConsistently) {
   StackConfig sc;
   sc.monitoring.exclusion_timeout = sec(60);
   World w(cfg(5, 7, sc));
+  test::ScenarioOracle oracle(w, msec(20), 7);
   std::vector<test::DeliveryLog> logs(5);
   for (ProcessId p = 0; p < 5; ++p) {
     w.stack(p).on_adeliver([&logs, p](const MsgId& id, const Bytes& b) {
@@ -103,6 +108,7 @@ TEST(Partition, PrimaryPartitionExcludesMinorityAndMovesOn) {
   StackConfig sc;
   sc.monitoring.exclusion_timeout = msec(500);
   World w(cfg(5, 9, sc));
+  test::ScenarioOracle oracle(w, msec(20), 9);
   w.found_group_all();
   w.run_for(msec(50));
   w.network().partition({{0, 1, 2}, {3, 4}});
@@ -117,12 +123,14 @@ TEST(Partition, PrimaryPartitionExcludesMinorityAndMovesOn) {
   // The minority members know nothing of their exclusion yet (they're cut
   // off), but they have NOT formed a rival view: still the old 5-member one.
   EXPECT_EQ(w.stack(3).view().members.size(), 5u);
+  w.run_for(sec(1));  // settle the majority before the oracle finalizes
 }
 
 TEST(Partition, ExcludedMinorityRejoinsAfterHeal) {
   StackConfig sc;
   sc.monitoring.exclusion_timeout = msec(400);
   World w(cfg(4, 11, sc));
+  test::ScenarioOracle oracle(w, msec(20), 11);
   w.found_group_all();
   w.run_for(msec(50));
   w.network().partition({{0, 1, 2}, {3}});
@@ -137,6 +145,7 @@ TEST(Partition, ExcludedMinorityRejoinsAfterHeal) {
     return w.stack(3).membership().is_member() && w.stack(0).view().contains(3);
   }));
   EXPECT_EQ(w.stack(0).view().members.size(), 4u);
+  w.run_for(sec(1));  // settle before the oracle's finalize-time checks
 }
 
 }  // namespace

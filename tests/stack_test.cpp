@@ -25,6 +25,7 @@ TEST(Stack, EndToEndMixedWorkload) {
   StackConfig sc;
   fr.install(sc);
   World w(cfg(4, 1, sc));
+  test::ScenarioOracle oracle(w, msec(20), 1);
   std::vector<test::DeliveryLog> alogs(4);
   std::vector<test::DeliveryLog> glogs(4);
   for (ProcessId p = 0; p < 4; ++p) {
@@ -50,6 +51,7 @@ TEST(Stack, EndToEndMixedWorkload) {
   for (int p = 1; p < 4; ++p) {
     EXPECT_TRUE(consistent_prefix(alogs[0].order, alogs[static_cast<std::size_t>(p)].order));
   }
+  w.run_for(sec(1));  // settle before the oracle's finalize-time checks
 }
 
 TEST(Stack, AbcastKeepsRunningThroughFalseSuspicions) {
@@ -60,6 +62,7 @@ TEST(Stack, AbcastKeepsRunningThroughFalseSuspicions) {
   sc.consensus_suspect_timeout = msec(40);
   sc.monitoring.exclusion_timeout = sec(60);
   World w(cfg(4, 3, sc));
+  test::ScenarioOracle oracle(w, msec(20), 3);
   std::vector<test::DeliveryLog> alogs(4);
   for (ProcessId p = 0; p < 4; ++p) {
     w.stack(p).on_adeliver([&alogs, p](const MsgId& id, const Bytes& b) {
@@ -96,6 +99,8 @@ TEST(Stack, CrashRecoveryEndToEnd) {
   StackConfig sc;
   sc.monitoring.exclusion_timeout = msec(600);
   World w(cfg(5, 9, sc));
+  test::ScenarioOracle oracle(w, msec(20), 9);
+  oracle.set_metrics(&w.stack(0).metrics());
   std::vector<test::DeliveryLog> alogs(5);
   for (ProcessId p = 0; p < 5; ++p) {
     w.stack(p).on_adeliver([&alogs, p](const MsgId& id, const Bytes& b) {
@@ -126,6 +131,7 @@ TEST(Stack, SendersNeverBlockDuringViewChange) {
   // Fire traffic continuously across a join and verify that messages sent
   // during the view change are accepted and delivered.
   World w(cfg(4, 5));
+  test::ScenarioOracle oracle(w, msec(20), 5);
   std::vector<test::DeliveryLog> alogs(4);
   for (ProcessId p = 0; p < 4; ++p) {
     w.stack(p).on_adeliver([&alogs, p](const MsgId& id, const Bytes& b) {
@@ -147,6 +153,7 @@ TEST(Stack, SendersNeverBlockDuringViewChange) {
   }));
   EXPECT_EQ(alogs[0].size(), static_cast<std::size_t>(sent));
   EXPECT_TRUE(consistent_prefix(alogs[0].order, alogs[1].order));
+  w.run_for(sec(1));  // settle before the oracle's finalize-time checks
 }
 
 TEST(Stack, GenericBroadcastAndMembershipCompose) {
@@ -155,6 +162,7 @@ TEST(Stack, GenericBroadcastAndMembershipCompose) {
   StackConfig sc;
   fr.install(sc);
   World w(cfg(5, 13, sc));
+  test::ScenarioOracle oracle(w, msec(20), 13);
   std::vector<test::DeliveryLog> glogs(5);
   for (ProcessId p = 0; p < 5; ++p) {
     w.stack(p).on_gdeliver([&glogs, p](const MsgId& id, MsgClass, const Bytes& b) {
@@ -206,6 +214,7 @@ TEST(Stack, DeterministicAcrossRuns) {
 TEST(Stack, CausalBroadcastOperation) {
   // cbcast at the stack level: happened-before order across members.
   World w(cfg(4, 21));
+  test::ScenarioOracle oracle(w, msec(20), 21);
   std::vector<std::vector<MsgId>> clogs(4);
   for (ProcessId p = 0; p < 4; ++p) {
     w.stack(p).on_cdeliver([&clogs, p](const MsgId& id, const Bytes&) {

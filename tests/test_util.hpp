@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <string>
@@ -12,6 +13,9 @@
 
 #include "core/stack.hpp"
 #include "obs/exporters.hpp"
+#include "obs/oracle.hpp"
+#include "obs/probes.hpp"
+#include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "util/types.hpp"
 
@@ -72,7 +76,26 @@ inline bool consistent_prefix(const std::vector<MsgId>& a, const std::vector<Msg
 /// history that led to it.
 class FlightRecorder {
  public:
-  explicit FlightRecorder(std::size_t capacity = 4096, std::size_t tail = 64)
+  /// Dump-tail length; overridable with the NGGCS_TRACE_TAIL environment
+  /// variable (useful when a failure needs deeper history than the
+  /// default without recompiling).
+  static std::size_t default_tail() {
+    if (const char* env = std::getenv("NGGCS_TRACE_TAIL"); env && *env) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 0) return static_cast<std::size_t>(v);
+    }
+    return 64;
+  }
+
+  /// Ring capacity; grows with an oversized NGGCS_TRACE_TAIL so the
+  /// requested tail actually fits.
+  static std::size_t default_capacity() {
+    const std::size_t tail = default_tail();
+    return tail > 4096 ? tail : 4096;
+  }
+
+  explicit FlightRecorder(std::size_t capacity = default_capacity(),
+                          std::size_t tail = default_tail())
       : recorder_(std::make_shared<obs::Recorder>(capacity)), tail_(tail) {}
 
   ~FlightRecorder() {
@@ -104,6 +127,64 @@ class FlightRecorder {
   std::shared_ptr<obs::Recorder> recorder_;
   std::size_t tail_;
   ProcessId proc_ = kNoProcess;
+};
+
+/// Runs a scenario test under the simulation-global protocol oracle.
+///
+///   World world(cfg);
+///   ScenarioOracle oracle(world);       // before found_group()/join()
+///   ... drive the scenario ...
+///   // destructor: finalize() + EXPECT no violations + report emission
+///
+/// Construction taps every stack (attach_oracle) and, by default, starts
+/// the state-probe sampler. Destruction finalizes the oracle, adds a test
+/// failure listing every violation if any property was violated, and — when
+/// NGGCS_REPORT_DIR is set — writes scenario_report_<test-name>.json.
+///
+/// Scenarios that intentionally end mid-flight (messages still undelivered)
+/// can call skip_finalize(); the online safety checks still apply.
+/// Negative tests that EXPECT violations call expect_violations().
+class ScenarioOracle {
+ public:
+  explicit ScenarioOracle(World& world, Duration probe_cadence = msec(100),
+                          std::uint64_t seed = 0)
+      : world_(&world), seed_(seed) {
+    world.attach_oracle(oracle_);
+    if (probe_cadence > 0) world.enable_probes(probes_, probe_cadence);
+  }
+
+  ~ScenarioOracle() {
+    if (!skip_finalize_) oracle_.finalize();
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    const std::string name = info ? std::string(info->test_suite_name()) + "." + info->name()
+                                  : "scenario";
+    if (!expect_violations_ && !oracle_.passed()) {
+      ADD_FAILURE() << "protocol oracle violations in " << name << ":\n"
+                    << oracle_.summary();
+    }
+    const std::string json =
+        obs::render_scenario_report(name, seed_, oracle_, &probes_, metrics_);
+    obs::write_scenario_report(name, json);
+  }
+
+  /// Leave the finalize-time agreement checks unchecked (mid-flight end).
+  void skip_finalize() { skip_finalize_ = true; }
+  /// Invert the destructor check: this scenario is SUPPOSED to violate.
+  void expect_violations() { expect_violations_ = true; }
+  /// Include this registry's counters/histograms in the report.
+  void set_metrics(const Metrics* m) { metrics_ = m; }
+
+  obs::Oracle& oracle() { return oracle_; }
+  obs::Probes& probes() { return probes_; }
+
+ private:
+  World* world_;
+  obs::Oracle oracle_;
+  obs::Probes probes_;
+  const Metrics* metrics_ = nullptr;
+  std::uint64_t seed_ = 0;
+  bool skip_finalize_ = false;
+  bool expect_violations_ = false;
 };
 
 }  // namespace gcs::test

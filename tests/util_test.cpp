@@ -228,6 +228,64 @@ TEST(Histogram, DuplicateSamples) {
   EXPECT_EQ(h.max(), 100);
 }
 
+TEST(Histogram, CapBoundsRetainedSamples) {
+  Histogram h;
+  h.set_sample_cap(64);
+  for (int i = 1; i <= 10000; ++i) h.add(i);
+  // Exact running statistics survive decimation...
+  EXPECT_EQ(h.count(), 10000u);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 10000);
+  EXPECT_DOUBLE_EQ(h.mean(), 5000.5);
+  // ...while the retained set stays bounded and uniformly spread.
+  EXPECT_LT(h.samples().size(), 64u);
+  EXPECT_GT(h.sample_stride(), 1u);
+  // Percentiles come from the thinned set: approximate but in range.
+  EXPECT_NEAR(static_cast<double>(h.percentile(50)), 5000.0, 512.0);
+  EXPECT_EQ(h.percentile(0), 1);
+  EXPECT_EQ(h.percentile(100), 10000);
+}
+
+TEST(Histogram, BelowCapStaysExact) {
+  Histogram h;
+  h.set_sample_cap(1024);
+  for (int i = 1; i <= 1000; ++i) h.add(i);
+  EXPECT_EQ(h.sample_stride(), 1u);
+  EXPECT_EQ(h.samples().size(), 1000u);
+  EXPECT_EQ(h.percentile(50), 500);
+  EXPECT_EQ(h.percentile(99), 990);
+}
+
+TEST(Histogram, CapZeroDisablesDecimation) {
+  Histogram h;
+  h.set_sample_cap(0);
+  for (int i = 0; i < 5000; ++i) h.add(i);
+  EXPECT_EQ(h.samples().size(), 5000u);
+  EXPECT_EQ(h.sample_stride(), 1u);
+}
+
+TEST(Histogram, DecimationIsDeterministic) {
+  auto run = [] {
+    Histogram h;
+    h.set_sample_cap(32);
+    for (int i = 0; i < 777; ++i) h.add(i * 3 % 101);
+    return h.samples();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Histogram, ClearResetsCapState) {
+  Histogram h;
+  h.set_sample_cap(16);
+  for (int i = 0; i < 100; ++i) h.add(i);
+  h.clear();
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.sample_stride(), 1u);
+  h.add(5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.percentile(50), 5);
+}
+
 TEST(Histogram, OutOfRangeQuantilesClamp) {
   Histogram h;
   h.add(1);
