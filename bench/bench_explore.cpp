@@ -1,0 +1,94 @@
+/// \file bench_explore.cpp
+/// Explorer throughput: wall-clock seeds/second for the schedule explorer,
+/// single-threaded and across worker threads, plus the cost split between
+/// plan generation and schedule execution. This is the number that sizes
+/// CI sweeps: the smoke job's seed count divided by the single-thread rate
+/// here is its wall-clock budget.
+///
+/// Usage: bench_explore [seeds-per-config] (default 50)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "explore/runner.hpp"
+#include "explore/sweep.hpp"
+#include "sim/fault_plan.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seeds = 50;
+  if (argc > 1) seeds = std::strtoull(argv[1], nullptr, 10);
+  if (seeds == 0) seeds = 50;
+
+  // Plan generation alone (no simulation).
+  {
+    const auto start = Clock::now();
+    std::uint64_t total_steps = 0;
+    for (std::uint64_t s = 0; s < seeds * 20; ++s) {
+      total_steps += gcs::sim::FaultPlan::generate(s).steps.size();
+    }
+    const double dt = seconds_since(start);
+    std::printf("plan generation:    %8.0f plans/s (%llu steps)\n",
+                static_cast<double>(seeds * 20) / dt,
+                static_cast<unsigned long long>(total_steps));
+  }
+
+  // Full schedules, one worker.
+  {
+    gcs::explore::SweepOptions options;
+    options.begin = 0;
+    options.end = seeds;
+    options.jobs = 1;
+    options.run.trace_capacity = 0;  // measure the simulation, not tracing
+    options.shrink = false;
+    const auto start = Clock::now();
+    const auto result = gcs::explore::sweep(options);
+    const double dt = seconds_since(start);
+    std::printf("sweep x1 worker:    %8.1f seeds/s (%llu seeds, %zu failures)\n",
+                static_cast<double>(result.seeds_run) / dt,
+                static_cast<unsigned long long>(result.seeds_run), result.failures.size());
+  }
+
+  // Full schedules, all hardware threads.
+  {
+    const unsigned jobs = std::max(1u, std::thread::hardware_concurrency());
+    gcs::explore::SweepOptions options;
+    options.begin = 0;
+    options.end = seeds * jobs;
+    options.jobs = static_cast<int>(jobs);
+    options.run.trace_capacity = 0;
+    options.shrink = false;
+    const auto start = Clock::now();
+    const auto result = gcs::explore::sweep(options);
+    const double dt = seconds_since(start);
+    std::printf("sweep x%u workers:  %8.1f seeds/s (%llu seeds, %zu failures)\n", jobs,
+                static_cast<double>(result.seeds_run) / dt,
+                static_cast<unsigned long long>(result.seeds_run), result.failures.size());
+  }
+
+  // Tracing overhead: same single-worker sweep with the flight recorder on.
+  {
+    gcs::explore::SweepOptions options;
+    options.begin = 0;
+    options.end = seeds;
+    options.jobs = 1;
+    options.run.trace_capacity = 4096;
+    options.shrink = false;
+    const auto start = Clock::now();
+    const auto result = gcs::explore::sweep(options);
+    const double dt = seconds_since(start);
+    std::printf("sweep x1 + tracing: %8.1f seeds/s\n",
+                static_cast<double>(result.seeds_run) / dt);
+  }
+  return 0;
+}

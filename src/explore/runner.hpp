@@ -1,0 +1,69 @@
+/// \file runner.hpp
+/// Deterministic execution of one fault plan (or a shrunk subset of it)
+/// against a fresh World, certified by the global oracle.
+///
+/// run_plan() is the single primitive everything in the explorer composes:
+/// the seed sweep calls it once per seed with every step kept, the shrinker
+/// calls it repeatedly with subsets, and replay calls it with the artifact's
+/// kept set — all three get byte-identical scenario reports for identical
+/// (plan, keep, options) inputs, which is the property replay verification
+/// rests on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/fault_plan.hpp"
+
+namespace gcs::explore {
+
+/// How one schedule ended.
+enum class Outcome : std::uint8_t {
+  kClean = 0,   ///< oracle passed and the group stayed live
+  kViolation,   ///< the oracle recorded at least one safety violation
+  kWedged,      ///< safety held but the final liveness probe never delivered
+};
+
+std::string_view outcome_name(Outcome o);
+
+/// Per-run options layered on top of the plan's world parameters.
+struct RunOptions {
+  /// != 0 plants the broken-fast-quorum bug (GenericBroadcast::Config::
+  /// unsafe_fast_quorum_override) — the explorer's standard planted defect.
+  int fast_quorum_override = 0;
+  /// Flight-recorder ring capacity (records); 0 disables tracing.
+  std::size_t trace_capacity = 4096;
+  /// Records of trace tail exported into RunResult / artifacts.
+  std::size_t trace_tail_records = 200;
+};
+
+struct RunResult {
+  Outcome outcome = Outcome::kClean;
+  /// Stable name of the first violated property ("" when clean/wedged) —
+  /// the shrinker's "same bug?" fingerprint.
+  std::string first_violation;
+  /// Deterministic scenario report (obs::render_scenario_report).
+  std::string report_json;
+  /// Machine-readable violation records (obs::render_violations_json).
+  std::string violations_json;
+  /// Flight-recorder tail, one formatted record per line.
+  std::string trace_tail;
+  std::uint64_t adeliveries = 0;
+  std::uint64_t gdeliveries = 0;
+};
+
+/// All step indices of \p plan, in order (the unshrunk kept set).
+std::vector<std::uint32_t> all_steps(const sim::FaultPlan& plan);
+
+/// Deterministic scenario name for (plan, keep): report files and replay
+/// comparisons key on it, so it depends only on the plan seed and the kept
+/// subset.
+std::string scenario_name(const sim::FaultPlan& plan, const std::vector<std::uint32_t>& keep);
+
+/// Execute the kept steps of \p plan in a fresh World and certify the run.
+/// Pure: same (plan, keep, options) -> same RunResult, bytes included.
+RunResult run_plan(const sim::FaultPlan& plan, const std::vector<std::uint32_t>& keep,
+                   const RunOptions& options = {});
+
+}  // namespace gcs::explore

@@ -1,0 +1,76 @@
+#include "explore/shrink.hpp"
+
+#include <algorithm>
+
+namespace gcs::explore {
+
+namespace {
+
+/// keep minus the half-open chunk [lo, hi).
+std::vector<std::uint32_t> without_range(const std::vector<std::uint32_t>& keep,
+                                         std::size_t lo, std::size_t hi) {
+  std::vector<std::uint32_t> out;
+  out.reserve(keep.size() - (hi - lo));
+  out.insert(out.end(), keep.begin(), keep.begin() + static_cast<std::ptrdiff_t>(lo));
+  out.insert(out.end(), keep.begin() + static_cast<std::ptrdiff_t>(hi), keep.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> shrink(std::vector<std::uint32_t> keep, const FailsFn& fails,
+                                  int budget, ShrinkStats* stats) {
+  ShrinkStats local;
+  local.budget = budget;
+  auto try_fails = [&](const std::vector<std::uint32_t>& candidate) {
+    ++local.runs;
+    return fails(candidate);
+  };
+  auto spent = [&] { return local.runs >= budget; };
+
+  // Phase 1: ddmin. Drop chunks of size |keep|/granularity while the
+  // failure persists; refine granularity when no chunk can go.
+  std::size_t granularity = 2;
+  while (keep.size() >= 2 && granularity <= keep.size() && !spent()) {
+    const std::size_t chunk = (keep.size() + granularity - 1) / granularity;
+    bool reduced = false;
+    for (std::size_t lo = 0; lo < keep.size() && !spent(); lo += chunk) {
+      const std::size_t hi = std::min(lo + chunk, keep.size());
+      auto candidate = without_range(keep, lo, hi);
+      if (candidate.empty()) continue;
+      if (try_fails(candidate)) {
+        keep = std::move(candidate);
+        granularity = std::max<std::size_t>(granularity - 1, 2);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (chunk == 1) break;  // singleton granularity exhausted
+      granularity = std::min(granularity * 2, keep.size());
+    }
+  }
+
+  // Phase 2: greedy single-step elimination until a fixpoint — cheap
+  // insurance against chunk-boundary artifacts of phase 1.
+  bool changed = true;
+  while (changed && keep.size() > 1 && !spent()) {
+    changed = false;
+    std::size_t i = 0;
+    while (i < keep.size() && !spent()) {
+      auto candidate = without_range(keep, i, i + 1);
+      if (try_fails(candidate)) {
+        keep = std::move(candidate);  // element now at i is the next untried one
+        changed = true;
+      } else {
+        ++i;
+      }
+    }
+    if (!changed && i == keep.size()) local.minimal = true;
+  }
+
+  if (stats) *stats = local;
+  return keep;
+}
+
+}  // namespace gcs::explore

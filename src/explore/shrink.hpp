@@ -1,0 +1,39 @@
+/// \file shrink.hpp
+/// Delta-debugging (ddmin) over fault-plan step indices.
+///
+/// A failing schedule found by the sweep typically has ~60 steps, of which
+/// a handful matter. The shrinker minimizes the KEPT index set — never the
+/// plan itself — which is sound because (a) every step carries its full
+/// parameters (removal never reshuffles another step's randomness, see
+/// fault_plan.hpp) and (b) the runner guards every step at execution time,
+/// so any subset is a well-formed schedule.
+///
+/// Algorithm: classic ddmin (Zeller & Hildebrandt) — try dropping chunks at
+/// increasing granularity while the failure reproduces — followed by a
+/// greedy single-step elimination pass that catches what chunk alignment
+/// missed. Every candidate is re-run deterministically; the result is
+/// 1-minimal modulo the run budget.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace gcs::explore {
+
+/// Returns true iff the schedule that keeps exactly \p keep still exhibits
+/// the original failure (same outcome category and violated property).
+using FailsFn = std::function<bool(const std::vector<std::uint32_t>& keep)>;
+
+struct ShrinkStats {
+  int runs = 0;        ///< predicate evaluations spent
+  int budget = 0;      ///< run budget given
+  bool minimal = false;///< greedy pass completed without hitting the budget
+};
+
+/// Minimize \p keep under \p fails, spending at most \p budget predicate
+/// runs. \p keep must itself fail (callers verify before shrinking).
+std::vector<std::uint32_t> shrink(std::vector<std::uint32_t> keep, const FailsFn& fails,
+                                  int budget, ShrinkStats* stats = nullptr);
+
+}  // namespace gcs::explore

@@ -1,0 +1,114 @@
+#include "explore/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <thread>
+
+#include "explore/artifact.hpp"
+#include "explore/shrink.hpp"
+
+namespace gcs::explore {
+
+namespace {
+
+std::string write_artifact_file(const std::string& dir, std::uint64_t seed,
+                                const std::string& json) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string path = dir + "/repro_s" + std::to_string(seed) + ".json";
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) return {};
+  os << json;
+  os.flush();
+  return os ? path : std::string{};
+}
+
+}  // namespace
+
+SweepResult sweep(const SweepOptions& options) {
+  SweepResult result;
+  if (options.end <= options.begin) return result;
+
+  int jobs = options.jobs > 0 ? options.jobs
+                              : static_cast<int>(std::thread::hardware_concurrency());
+  if (jobs <= 0) jobs = 1;
+  const auto total = options.end - options.begin;
+  jobs = static_cast<int>(std::min<std::uint64_t>(static_cast<std::uint64_t>(jobs), total));
+
+  std::atomic<std::uint64_t> next{options.begin};
+  std::atomic<std::uint64_t> failures_found{0};
+  std::atomic<std::uint64_t> seeds_run{0};
+  std::mutex mu;  // guards result.failures and the on_seed hook
+
+  auto worker = [&] {
+    while (true) {
+      if (failures_found.load() >= options.max_failures) break;
+      const std::uint64_t seed = next.fetch_add(1);
+      if (seed >= options.end) break;
+
+      const sim::FaultPlan plan = sim::FaultPlan::generate(seed, options.plan);
+      const std::vector<std::uint32_t> keep = all_steps(plan);
+      const RunResult run = run_plan(plan, keep, options.run);
+      seeds_run.fetch_add(1);
+      if (options.on_seed) {
+        std::lock_guard<std::mutex> lock(mu);
+        options.on_seed(seed, run.outcome);
+      }
+      if (run.outcome == Outcome::kClean) continue;
+
+      failures_found.fetch_add(1);
+      SweepFailure failure;
+      failure.seed = seed;
+      failure.outcome = run.outcome;
+      failure.first_violation = run.first_violation;
+      failure.original_steps = keep.size();
+      failure.shrunk_keep = keep;
+
+      RunResult final_run = run;
+      if (options.shrink) {
+        // Same bug = same outcome category and same first violated
+        // property; liveness failures match on category alone.
+        const auto fails = [&](const std::vector<std::uint32_t>& candidate) {
+          const RunResult r = run_plan(plan, candidate, options.run);
+          return r.outcome == run.outcome && r.first_violation == run.first_violation;
+        };
+        ShrinkStats stats;
+        failure.shrunk_keep = shrink(keep, fails, options.shrink_budget, &stats);
+        failure.shrink_runs = stats.runs;
+        // Re-run the minimized schedule once more: its deterministic result
+        // is what the artifact embeds and what replay must match.
+        final_run = run_plan(plan, failure.shrunk_keep, options.run);
+      }
+
+      if (!options.artifact_dir.empty()) {
+        const Artifact artifact =
+            make_artifact(plan, failure.shrunk_keep, options.run, final_run);
+        failure.artifact_path =
+            write_artifact_file(options.artifact_dir, seed, render_artifact(artifact));
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        result.failures.push_back(std::move(failure));
+      }
+    }
+  };
+
+  if (jobs == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(jobs));
+    for (int i = 0; i < jobs; ++i) threads.emplace_back(worker);
+    for (auto& t : threads) t.join();
+  }
+
+  result.seeds_run = seeds_run.load();
+  std::sort(result.failures.begin(), result.failures.end(),
+            [](const SweepFailure& a, const SweepFailure& b) { return a.seed < b.seed; });
+  return result;
+}
+
+}  // namespace gcs::explore

@@ -1,0 +1,54 @@
+/// \file sweep.hpp
+/// Parallel seed sweep: the explorer's outer loop.
+///
+/// Workers pull seeds from a shared atomic counter; each worker runs one
+/// whole schedule at a time in its own World (simulations never share
+/// mutable state — the only process-global structures, the metric and
+/// trace-name interning registries, are mutex-protected). A failing seed is
+/// shrunk by the SAME worker with sequential deterministic re-runs, then
+/// written out as a repro artifact. Results are aggregated seed-sorted, so
+/// the sweep's summary is independent of thread scheduling.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "explore/runner.hpp"
+#include "sim/fault_plan.hpp"
+
+namespace gcs::explore {
+
+struct SweepOptions {
+  std::uint64_t begin = 0;  ///< first seed (inclusive)
+  std::uint64_t end = 0;    ///< last seed (exclusive)
+  int jobs = 0;             ///< worker threads; 0 = hardware concurrency
+  sim::FaultPlanOptions plan;
+  RunOptions run;
+  bool shrink = true;
+  int shrink_budget = 200;       ///< predicate runs per failing seed
+  std::uint64_t max_failures = 4;///< stop pulling new seeds after this many
+  std::string artifact_dir;      ///< where repro_s<seed>.json goes; "" = don't write
+  /// Progress hook, called from worker threads under the result lock.
+  std::function<void(std::uint64_t seed, Outcome outcome)> on_seed;
+};
+
+struct SweepFailure {
+  std::uint64_t seed = 0;
+  Outcome outcome = Outcome::kClean;
+  std::string first_violation;
+  std::vector<std::uint32_t> shrunk_keep;  ///< kept steps after shrinking
+  std::size_t original_steps = 0;
+  int shrink_runs = 0;
+  std::string artifact_path;  ///< "" when artifact_dir was unset or write failed
+};
+
+struct SweepResult {
+  std::uint64_t seeds_run = 0;
+  std::vector<SweepFailure> failures;  ///< sorted by seed
+};
+
+SweepResult sweep(const SweepOptions& options);
+
+}  // namespace gcs::explore

@@ -8,7 +8,11 @@ namespace gcs::obs {
 
 namespace {
 
-std::string json_escape(std::string_view s) {
+std::string json_escape(std::string_view s) { return json_escape_string(s); }
+
+}  // namespace
+
+std::string json_escape_string(std::string_view s) {
   std::string out;
   out.reserve(s.size());
   for (char c : s) {
@@ -30,6 +34,8 @@ std::string json_escape(std::string_view s) {
   return out;
 }
 
+namespace {
+
 // Fixed-format doubles so identical runs serialize identically.
 std::string json_double(double v) {
   char buf[64];
@@ -42,6 +48,19 @@ void append_kv(std::string& out, const char* key, std::uint64_t v, bool comma = 
   out += key;
   out += "\":" + std::to_string(v);
   if (comma) out += ",";
+}
+
+// One violation object; shared by the scenario report and the standalone
+// violation export so the two never drift apart.
+void append_violation(std::string& out, const Violation& v) {
+  out += "{\"property\":\"" + std::string(property_name(v.property)) + "\"";
+  out += ",\"proc\":" + std::to_string(v.proc);
+  out += ",\"msg\":\"" + (v.msg.sender == kNoProcess ? std::string() : to_string(v.msg)) + "\"";
+  out += ",\"other\":\"" +
+         (v.other.sender == kNoProcess ? std::string() : to_string(v.other)) + "\"";
+  out += ",\"a\":" + std::to_string(v.a);
+  out += ",\"b\":" + std::to_string(v.b);
+  out += ",\"detail\":\"" + json_escape(v.detail) + "\"}";
 }
 
 }  // namespace
@@ -77,14 +96,8 @@ std::string render_scenario_report(const std::string& scenario, std::uint64_t se
   for (const Violation& v : oracle.violations()) {
     if (!first) out += ",";
     first = false;
-    out += "\n{\"property\":\"" + std::string(property_name(v.property)) + "\"";
-    out += ",\"proc\":" + std::to_string(v.proc);
-    out += ",\"msg\":\"" + (v.msg.sender == kNoProcess ? std::string() : to_string(v.msg)) + "\"";
-    out += ",\"other\":\"" +
-           (v.other.sender == kNoProcess ? std::string() : to_string(v.other)) + "\"";
-    out += ",\"a\":" + std::to_string(v.a);
-    out += ",\"b\":" + std::to_string(v.b);
-    out += ",\"detail\":\"" + json_escape(v.detail) + "\"}";
+    out += "\n";
+    append_violation(out, v);
   }
   out += "\n],\n";
 
@@ -161,6 +174,19 @@ std::string render_scenario_report(const std::string& scenario, std::uint64_t se
   }
   out += "}\n";
   out += "}\n";
+  return out;
+}
+
+std::string render_violations_json(const Oracle& oracle) {
+  std::string out = "[";
+  bool first = true;
+  for (const Violation& v : oracle.violations()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n";
+    append_violation(out, v);
+  }
+  out += "\n]";
   return out;
 }
 

@@ -37,6 +37,17 @@ std::string render_scenario_report(const std::string& scenario, std::uint64_t se
                                    const Oracle& oracle, const Probes* probes,
                                    const Metrics* metrics);
 
+/// Machine-readable violation export: just the oracle's violation records as
+/// a JSON array (same element schema as the scenario report's "violations"
+/// section). The schedule explorer embeds this in repro artifacts so CI can
+/// diff violations without parsing a whole report.
+std::string render_violations_json(const Oracle& oracle);
+
+/// JSON string escaping (the exact rules every report produced by this
+/// module uses). Exposed for tooling that embeds reports inside other JSON
+/// documents (repro artifacts).
+std::string json_escape_string(std::string_view s);
+
 /// Compact human summary: one line per property, then the violations.
 std::string render_scenario_summary(const std::string& scenario, const Oracle& oracle);
 

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace gcs::obs {
@@ -12,6 +13,9 @@ struct Registry {
   // std::less<> enables string_view lookups without constructing a string.
   std::map<std::string, NameId, std::less<>> ids;
   std::vector<std::string_view> names;  // views into the map's stable keys
+  // Process-global; the schedule explorer constructs stacks (which intern
+  // span names) from parallel worker threads.
+  std::mutex mu;
 };
 
 Registry& registry() {
@@ -23,6 +27,7 @@ Registry& registry() {
 
 NameId intern_name(std::string_view name) {
   Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
   if (auto it = r.ids.find(name); it != r.ids.end()) return it->second;
   assert(r.names.size() < kNoName);
   const auto id = static_cast<NameId>(r.names.size());
@@ -34,12 +39,14 @@ NameId intern_name(std::string_view name) {
 
 NameId find_name(std::string_view name) {
   Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
   auto it = r.ids.find(name);
   return it == r.ids.end() ? kNoName : it->second;
 }
 
 std::string_view name_of(NameId id) {
   Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
   return id < r.names.size() ? r.names[id] : std::string_view{};
 }
 

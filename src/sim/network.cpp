@@ -11,7 +11,8 @@ Network::Network(Engine& engine, int n, LinkModel default_link, std::uint64_t se
       component_of_(static_cast<std::size_t>(n), -1), m_sent_(metric_id("net.sent")),
       m_bytes_sent_(metric_id("net.bytes_sent")), m_dropped_(metric_id("net.dropped")),
       m_partition_dropped_(metric_id("net.partition_dropped")),
-      m_delivered_(metric_id("net.delivered")) {
+      m_delivered_(metric_id("net.delivered")), m_duplicated_(metric_id("net.duplicated")),
+      m_reordered_(metric_id("net.reordered")) {
   for (ProcessId p = 0; p < n; ++p) link(p, p) = LinkModel::loopback();
 }
 
@@ -32,21 +33,36 @@ void Network::send(ProcessId from, ProcessId to, Payload payload) {
     return;
   }
   const Duration jitter = m.jitter > 0 ? rng_.next_range(0, m.jitter) : 0;
+  Duration delay = m.base_delay + jitter;
+  // Fault knobs draw from the RNG only while active, so knob-free runs
+  // keep their exact historical traces.
+  if (knobs_.reorder_probability > 0.0 && rng_.chance(knobs_.reorder_probability)) {
+    metrics_.inc(m_reordered_);
+    delay += knobs_.reorder_delay;
+  }
+  if (knobs_.duplicate_probability > 0.0 && rng_.chance(knobs_.duplicate_probability)) {
+    metrics_.inc(m_duplicated_);
+    schedule_delivery(delay + knobs_.duplicate_delay, from, to, payload);
+  }
+  schedule_delivery(delay, from, to, std::move(payload));
+}
+
+void Network::schedule_delivery(Duration delay, ProcessId from, ProcessId to,
+                                Payload payload) {
   // The capture is ~32 bytes (payload is a shared buffer, not a copy), so
   // it stays inside the engine's inline callback storage: no allocation
   // per datagram in flight.
-  engine_.schedule_after(m.base_delay + jitter,
-                         [this, from, to, payload = std::move(payload)]() {
-                           if (crashed_[static_cast<std::size_t>(to)]) return;
-                           if (!connected(from, to)) {
-                             metrics_.inc(m_partition_dropped_);
-                             return;
-                           }
-                           auto& handler = handlers_[static_cast<std::size_t>(to)];
-                           if (!handler) return;
-                           metrics_.inc(m_delivered_);
-                           handler(from, payload.bytes());
-                         });
+  engine_.schedule_after(delay, [this, from, to, payload = std::move(payload)]() {
+    if (crashed_[static_cast<std::size_t>(to)]) return;
+    if (!connected(from, to)) {
+      metrics_.inc(m_partition_dropped_);
+      return;
+    }
+    auto& handler = handlers_[static_cast<std::size_t>(to)];
+    if (!handler) return;
+    metrics_.inc(m_delivered_);
+    handler(from, payload.bytes());
+  });
 }
 
 void Network::multicast(ProcessId from, const std::vector<ProcessId>& tos,

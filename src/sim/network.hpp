@@ -4,8 +4,10 @@
 /// Models per-link latency (base + uniform jitter), probabilistic loss,
 /// network partitions and process crashes. This is the "Unreliable
 /// Transport" box at the bottom of the paper's Figure 9: messages may be
-/// dropped or reordered (jitter reorders), but are never corrupted or
-/// duplicated by the network itself.
+/// dropped or reordered (jitter reorders), but are never corrupted. By
+/// default nothing is duplicated either; the schedule explorer turns on
+/// duplication / reorder fault knobs (FaultKnobs) to stress the dedup and
+/// holdback logic of the layers above.
 #pragma once
 
 #include <functional>
@@ -57,7 +59,12 @@ class Network {
 
   /// Permanently crash \p p: all queued and future deliveries to it vanish.
   void crash(ProcessId p);
-  bool alive(ProcessId p) const { return crashed_.size() > static_cast<std::size_t>(p) ? !crashed_[p] : true; }
+  /// Liveness of \p p. Ids outside the universe are never alive (an
+  /// out-of-range id used to read as alive, which let fault-injection loops
+  /// target ghosts and believe they succeeded).
+  bool alive(ProcessId p) const {
+    return p >= 0 && p < n_ && !crashed_[static_cast<std::size_t>(p)];
+  }
 
   /// Partition the universe into components; messages cross components only
   /// after heal(). Processes not listed are isolated (their own singleton).
@@ -69,6 +76,19 @@ class Network {
   void set_link(ProcessId from, ProcessId to, LinkModel model);
   /// Override the model for every link (keeps loopbacks).
   void set_all_links(LinkModel model);
+
+  /// Network-wide duplication / reorder fault injection (the schedule
+  /// explorer's burst knobs). All probabilities default to 0, and the RNG
+  /// is only consulted while a knob is active, so runs that never touch
+  /// the knobs keep their exact historical traces.
+  struct FaultKnobs {
+    double duplicate_probability = 0.0;  ///< deliver a second copy of a datagram
+    Duration duplicate_delay = usec(150);///< extra delay on the duplicate copy
+    double reorder_probability = 0.0;    ///< hold a datagram back so later ones overtake
+    Duration reorder_delay = usec(500);  ///< extra hold time on a reorder hit
+  };
+  void set_fault_knobs(FaultKnobs knobs) { knobs_ = knobs; }
+  const FaultKnobs& fault_knobs() const { return knobs_; }
 
   /// -- statistics / tracing --------------------------------------------
   Metrics& metrics() { return metrics_; }
@@ -82,6 +102,7 @@ class Network {
   LinkModel& link(ProcessId from, ProcessId to) {
     return links_[static_cast<std::size_t>(from) * n_ + static_cast<std::size_t>(to)];
   }
+  void schedule_delivery(Duration delay, ProcessId from, ProcessId to, Payload payload);
 
   Engine& engine_;
   int n_;
@@ -99,6 +120,9 @@ class Network {
   MetricId m_dropped_;
   MetricId m_partition_dropped_;
   MetricId m_delivered_;
+  MetricId m_duplicated_;
+  MetricId m_reordered_;
+  FaultKnobs knobs_;
   Tap tap_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <mutex>
 
 namespace gcs {
 
@@ -11,6 +12,10 @@ struct MetricRegistry {
   // std::less<> enables string_view lookups without constructing a string.
   std::map<std::string, MetricId, std::less<>> ids;
   std::vector<std::string_view> names;  // views into the map's stable keys
+  // The registry is process-global while Metrics registries are per-run;
+  // the schedule explorer runs one simulation per worker thread, so the
+  // cold interning path must be safe under concurrent construction.
+  std::mutex mu;
 };
 
 MetricRegistry& registry() {
@@ -22,6 +27,7 @@ MetricRegistry& registry() {
 
 MetricId metric_id(std::string_view name) {
   MetricRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
   if (auto it = r.ids.find(name); it != r.ids.end()) return it->second;
   assert(r.names.size() < kNoMetric);
   const auto id = static_cast<MetricId>(r.names.size());
@@ -33,12 +39,14 @@ MetricId metric_id(std::string_view name) {
 
 MetricId find_metric(std::string_view name) {
   MetricRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
   auto it = r.ids.find(name);
   return it == r.ids.end() ? kNoMetric : it->second;
 }
 
 std::string_view metric_name(MetricId id) {
   MetricRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
   return id < r.names.size() ? r.names[id] : std::string_view{};
 }
 

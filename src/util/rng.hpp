@@ -67,6 +67,21 @@ class Rng {
   /// Fork an independent stream (for per-process RNGs derived from one seed).
   Rng split() { return Rng(next_u64()); }
 
+  /// Independent stream derived from (seed, key) WITHOUT consuming any
+  /// state: the same pair always yields the same stream, no matter how many
+  /// other streams were drawn before it. Scenario generation keys one
+  /// stream per concern (timing, traffic, faults), so deleting a step from
+  /// a fault plan never perturbs the randomness of the surviving steps —
+  /// the property the shrinker depends on.
+  static Rng stream(std::uint64_t seed, std::uint64_t key) {
+    // splitmix64 finalizer over the key, folded into the seed; Rng's own
+    // reseed() spreads the combined value over the full state.
+    std::uint64_t z = key + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return Rng(seed ^ (z ^ (z >> 31)));
+  }
+
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
   std::uint64_t state_[4] = {};

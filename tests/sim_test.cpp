@@ -356,6 +356,113 @@ TEST(Network, PartitionAppliesAtDeliveryTime) {
   EXPECT_EQ(received, 0);            // in-flight message cut by the partition
 }
 
+// Regression: alive() used to index crashed_ with whatever id it was given,
+// so out-of-range ids (ghosts) read as alive and fault-injection loops
+// happily targeted them. Out-of-universe ids are never alive.
+TEST(Network, AliveIsFalseOutsideTheUniverse) {
+  Engine eng;
+  Network net(eng, 3, LinkModel{usec(100), 0, 0.0}, 1);
+  EXPECT_TRUE(net.alive(0));
+  EXPECT_TRUE(net.alive(2));
+  EXPECT_FALSE(net.alive(-1));
+  EXPECT_FALSE(net.alive(3));
+  EXPECT_FALSE(net.alive(kNoProcess));
+  EXPECT_FALSE(net.alive(1000));
+}
+
+TEST(Network, DuplicateKnobDeliversTwoCopies) {
+  Engine eng;
+  Network net(eng, 2, LinkModel{usec(100), 0, 0.0}, 1);
+  std::vector<TimePoint> arrivals;
+  net.set_handler(1, [&](ProcessId, const Bytes&) { arrivals.push_back(eng.now()); });
+  Network::FaultKnobs knobs;
+  knobs.duplicate_probability = 1.0;
+  knobs.duplicate_delay = usec(300);
+  net.set_fault_knobs(knobs);
+  net.send(0, 1, Bytes{0});
+  eng.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], 100);        // original copy on the normal schedule
+  EXPECT_EQ(arrivals[1], 100 + 300);  // duplicate trails by duplicate_delay
+  EXPECT_EQ(net.metrics().counter("net.duplicated"), 1);
+  EXPECT_EQ(net.metrics().counter("net.delivered"), 2);
+}
+
+TEST(Network, ReorderKnobLetsLaterSendsOvertake) {
+  Engine eng;
+  Network net(eng, 2, LinkModel{usec(100), 0, 0.0}, 1);
+  std::vector<int> order;
+  net.set_handler(1, [&](ProcessId, const Bytes& b) { order.push_back(b[0]); });
+  Network::FaultKnobs knobs;
+  knobs.reorder_probability = 1.0;
+  knobs.reorder_delay = usec(500);
+  net.set_fault_knobs(knobs);
+  net.send(0, 1, Bytes{1});     // held back 500us
+  net.set_fault_knobs({});      // knob off again
+  net.send(0, 1, Bytes{2});     // normal schedule: overtakes
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+  EXPECT_EQ(net.metrics().counter("net.reordered"), 1);
+}
+
+TEST(Network, KnobsOffDrawNoRandomness) {
+  // With all knob probabilities at 0 the send path must consume exactly the
+  // RNG draws it consumed before knobs existed — same seed, same arrivals.
+  auto trace = [](bool touch_knobs) {
+    Engine eng;
+    Network net(eng, 2, LinkModel{usec(100), usec(80), 0.1}, 99);
+    if (touch_knobs) net.set_fault_knobs({});  // explicit all-zero knobs
+    std::vector<TimePoint> arrivals;
+    net.set_handler(1, [&](ProcessId, const Bytes&) { arrivals.push_back(eng.now()); });
+    for (int i = 0; i < 100; ++i) net.send(0, 1, Bytes{0});
+    eng.run();
+    return arrivals;
+  };
+  EXPECT_EQ(trace(false), trace(true));
+}
+
+// The two halves of a crash-mid-flight race: a message sent BEFORE the
+// receiver crashes vanishes (checked at delivery), while a message already
+// sent by a process that crashes afterwards still arrives — the network
+// models datagrams physically in flight, not sender liveness.
+TEST(Network, SenderCrashAfterSendStillDelivers) {
+  Engine eng;
+  Network net(eng, 2, LinkModel{usec(100), 0, 0.0}, 1);
+  int received = 0;
+  net.set_handler(1, [&](ProcessId, const Bytes&) { ++received; });
+  net.send(0, 1, Bytes{0});
+  net.crash(0);  // sender dies with the datagram in flight
+  eng.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(Network, HealBeforeDeliveryRestoresInFlight) {
+  Engine eng;
+  Network net(eng, 2, LinkModel{usec(100), 0, 0.0}, 1);
+  int received = 0;
+  net.set_handler(1, [&](ProcessId, const Bytes&) { ++received; });
+  net.send(0, 1, Bytes{0});   // delivery due at t=100
+  net.partition({{0}, {1}});
+  eng.schedule_at(50, [&] { net.heal(); });  // heal ordered before delivery
+  eng.run();
+  EXPECT_EQ(received, 1);  // connectivity is judged at delivery time
+}
+
+TEST(Network, DuplicateCopyAlsoRespectsPartitionAtDeliveryTime) {
+  Engine eng;
+  Network net(eng, 2, LinkModel{usec(100), 0, 0.0}, 1);
+  int received = 0;
+  net.set_handler(1, [&](ProcessId, const Bytes&) { ++received; });
+  Network::FaultKnobs knobs;
+  knobs.duplicate_probability = 1.0;
+  knobs.duplicate_delay = usec(300);
+  net.set_fault_knobs(knobs);
+  net.send(0, 1, Bytes{0});  // copies due at t=100 and t=400
+  eng.schedule_at(200, [&] { net.partition({{0}, {1}}); });
+  eng.run();
+  EXPECT_EQ(received, 1);  // first copy landed; the duplicate hit the partition
+}
+
 TEST(Network, LoopbackIsFast) {
   Engine eng;
   Network net(eng, 2, LinkModel{msec(10), 0, 0.0}, 1);
