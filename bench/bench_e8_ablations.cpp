@@ -74,7 +74,7 @@ RtoResult channel_rto(Duration rto) {
   Histogram lat;
   std::map<std::uint64_t, TimePoint> sent_at;
   std::uint64_t received = 0;
-  ch1.subscribe(Tag::kApp, [&](ProcessId, const Bytes& b) {
+  ch1.subscribe(Tag::kApp, [&](ProcessId, BytesView b) {
     Decoder dec(b);
     const std::uint64_t i = dec.get_u64();
     lat.add(engine.now() - sent_at[i]);

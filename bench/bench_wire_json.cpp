@@ -1,0 +1,390 @@
+/// \file bench_wire_json.cpp
+/// Bytes-on-wire report for the ordering layers (DESIGN.md §12): runs the
+/// E6-style abcast workload and an E3-style generic-broadcast workload
+/// under both proposal wire formats and emits BENCH_wire.json with, per
+/// cell, the bytes the consensus tag actually carried per delivered
+/// message. The slim format keeps application payloads out of consensus
+/// proposals and GB resolution reports, so its consensus traffic should be
+/// independent of payload size — that is the claim this report measures.
+///
+/// This translation unit replaces global operator new/delete with counting
+/// versions (same idiom as bench_e7_micro), which also powers the GB
+/// fast-path steady-state allocation check: after warm-up, a commutative
+/// gbcast workload must not grow the heap per delivery (pooled wire
+/// buffers, recycled map nodes). The check failing flips the exit status.
+///
+///   ./bench/bench_wire_json [--json=PATH]   (default BENCH_wire.json)
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+
+// --------------------------------------------------------------------------
+// Counting allocator (see bench_e7_micro.cpp for the rationale).
+// --------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_frees{0};
+
+struct AllocSnapshot {
+  std::uint64_t allocs;
+  std::uint64_t frees;
+};
+
+AllocSnapshot alloc_snapshot() {
+  return {g_allocs.load(std::memory_order_relaxed), g_frees.load(std::memory_order_relaxed)};
+}
+
+void* counted_alloc(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t rounded = (size + align - 1) / align * align;
+  if (void* p = std::aligned_alloc(align, rounded ? rounded : align)) return p;
+  throw std::bad_alloc();
+}
+
+void counted_free(void* p) noexcept {
+  if (!p) return;
+  g_frees.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { counted_free(p); }
+
+namespace gcs::bench {
+namespace {
+
+const char* format_name(WireFormat f) {
+  return f == WireFormat::kSlim ? "slim" : "legacy";
+}
+
+Bytes sized_payload(int i, std::size_t bytes) {
+  std::string s = "m" + std::to_string(i) + ":";
+  s.resize(bytes, 'x');
+  return Bytes(s.begin(), s.end());
+}
+
+std::int64_t sum_counter(World& world, int n, const std::string& name) {
+  std::int64_t total = 0;
+  for (ProcessId p = 0; p < n; ++p) total += world.stack(p).metrics().counter(name);
+  return total;
+}
+
+/// One measured (layer, n, payload, format) cell of the report.
+struct Cell {
+  std::string layer;  // "abcast" or "gbcast"
+  int n = 0;
+  std::size_t payload_bytes = 0;
+  WireFormat format = WireFormat::kSlim;
+  std::int64_t delivered = 0;            // deliveries summed over processes
+  std::int64_t consensus_wire_bytes = 0; // what rides the consensus tag
+  std::int64_t consensus_wire_msgs = 0;
+  std::int64_t flood_wire_bytes = 0;     // rbcast / gbdata payload flooding
+  std::int64_t pull_wire_bytes = 0;      // abcast/gbcast channel fallback
+  std::uint64_t net_allocs = 0;          // heap growth across the whole run
+  bool completed = false;
+
+  double per_delivered(std::int64_t bytes) const {
+    return delivered > 0 ? static_cast<double>(bytes) / static_cast<double>(delivered) : 0.0;
+  }
+  std::int64_t total_wire_bytes() const {
+    return consensus_wire_bytes + flood_wire_bytes + pull_wire_bytes;
+  }
+  double allocs_per_delivered() const {
+    return delivered > 0 ? static_cast<double>(net_allocs) / static_cast<double>(delivered)
+                         : 0.0;
+  }
+};
+
+constexpr int kMsgs = 150;
+constexpr Duration kGap = msec(1);
+
+/// E6-style abcast workload: every member sends in round-robin at a steady
+/// rate; the cell records what each wire tag carried until everyone
+/// delivered everything.
+Cell run_abcast_cell(int n, std::size_t payload_bytes, WireFormat format) {
+  Cell cell;
+  cell.layer = "abcast";
+  cell.n = n;
+  cell.payload_bytes = payload_bytes;
+  cell.format = format;
+
+  World::Config config;
+  config.n = n;
+  config.seed = 101 + static_cast<std::uint64_t>(n);
+  config.stack.wire_format = format;
+  World world(config);
+  OracleScope oracle(world, std::string("wire/abcast/") + format_name(format));
+  std::vector<int> delivered(static_cast<std::size_t>(n), 0);
+  for (ProcessId p = 0; p < n; ++p) {
+    world.stack(p).on_adeliver([&delivered, p](const MsgId&, const Bytes&) {
+      ++delivered[static_cast<std::size_t>(p)];
+    });
+  }
+  world.found_group_all();
+  world.run_for(msec(20));
+
+  const AllocSnapshot a0 = alloc_snapshot();
+  int sent = 0;
+  std::function<void()> tick = [&] {
+    if (sent >= kMsgs) return;
+    world.stack(static_cast<ProcessId>(sent % n)).abcast(sized_payload(sent, payload_bytes));
+    ++sent;
+    world.engine().schedule_after(kGap, tick);
+  };
+  world.engine().schedule_after(0, tick);
+  cell.completed = drive(world.engine(), sec(120), [&] {
+    for (int d : delivered) {
+      if (d < kMsgs) return false;
+    }
+    return true;
+  });
+  world.run_for(msec(200));
+  const AllocSnapshot a1 = alloc_snapshot();
+
+  cell.delivered = sum_counter(world, n, "abcast.delivered");
+  cell.consensus_wire_bytes = sum_counter(world, n, "consensus.wire_bytes");
+  cell.consensus_wire_msgs = sum_counter(world, n, "consensus.wire_msgs");
+  cell.flood_wire_bytes = sum_counter(world, n, "rbcast.wire_bytes");
+  cell.pull_wire_bytes = sum_counter(world, n, "abcast.wire_bytes");
+  cell.net_allocs = (a1.allocs - a0.allocs) - (a1.frees - a0.frees);
+  return cell;
+}
+
+/// E3-style gbcast workload with a 25% conflicting mix, so both the fast
+/// path and the resolution reports (which ride consensus) are on the wire.
+Cell run_gbcast_cell(int n, std::size_t payload_bytes, WireFormat format) {
+  Cell cell;
+  cell.layer = "gbcast";
+  cell.n = n;
+  cell.payload_bytes = payload_bytes;
+  cell.format = format;
+
+  World::Config config;
+  config.n = n;
+  config.seed = 211 + static_cast<std::uint64_t>(n);
+  config.stack.wire_format = format;
+  World world(config);
+  OracleScope oracle(world, std::string("wire/gbcast/") + format_name(format));
+  std::vector<int> delivered(static_cast<std::size_t>(n), 0);
+  for (ProcessId p = 0; p < n; ++p) {
+    world.stack(p).on_gdeliver([&delivered, p](const MsgId&, MsgClass, const Bytes&) {
+      ++delivered[static_cast<std::size_t>(p)];
+    });
+  }
+  world.found_group_all();
+  world.run_for(msec(20));
+
+  Rng rng(7);
+  int sent = 0;
+  std::function<void()> tick = [&] {
+    if (sent >= kMsgs) return;
+    const MsgClass cls = rng.chance(0.25) ? kAbcastClass : kRbcastClass;
+    world.stack(static_cast<ProcessId>(sent % n)).gbcast(cls, sized_payload(sent, payload_bytes));
+    ++sent;
+    world.engine().schedule_after(kGap, tick);
+  };
+  world.engine().schedule_after(0, tick);
+  cell.completed = drive(world.engine(), sec(120), [&] {
+    for (int d : delivered) {
+      if (d < kMsgs) return false;
+    }
+    return true;
+  });
+  world.run_for(msec(200));
+
+  cell.delivered = sum_counter(world, n, "gbcast.fast_delivered") +
+                   sum_counter(world, n, "gbcast.resolved_delivered");
+  cell.consensus_wire_bytes = sum_counter(world, n, "consensus.wire_bytes");
+  cell.consensus_wire_msgs = sum_counter(world, n, "consensus.wire_msgs");
+  cell.flood_wire_bytes = sum_counter(world, n, "gbdata.wire_bytes");
+  cell.pull_wire_bytes = sum_counter(world, n, "gbcast.wire_bytes");
+  return cell;
+}
+
+/// GB fast-path steady-state allocation check: a purely commutative
+/// workload after warm-up must not grow the heap — wire buffers come from
+/// the pool, dedup/store map nodes are freed as fast as they are made.
+/// The budget of 1 net allocation per delivery absorbs the engine's and
+/// metrics' amortized growth (vector doublings, timing-wheel spill) while
+/// still catching a per-message leak or an unpooled encode path.
+struct FastPathCheck {
+  std::int64_t deliveries = 0;
+  std::int64_t net_allocs = 0;
+  bool passed = false;
+
+  double net_per_delivery() const {
+    return deliveries > 0 ? static_cast<double>(net_allocs) / static_cast<double>(deliveries)
+                          : 0.0;
+  }
+};
+
+FastPathCheck run_fastpath_alloc_check() {
+  const int n = 3;
+  World::Config config;
+  config.n = n;
+  config.seed = 307;
+  config.stack.wire_format = WireFormat::kSlim;
+  // Steady state needs the bounded-memory machinery running: stability
+  // gossip prunes the rbcast dedup index, and the warm-up below pushes
+  // more messages than GenericBroadcast's retired-payload cap so the
+  // retire ring is evicting (not growing) when the measurement starts.
+  config.stack.stability_interval = msec(20);
+  World world(config);
+  std::int64_t delivered = 0;
+  for (ProcessId p = 0; p < n; ++p) {
+    world.stack(p).on_gdeliver([&delivered](const MsgId&, MsgClass, const Bytes&) {
+      ++delivered;
+    });
+  }
+  world.found_group_all();
+  world.run_for(msec(20));
+
+  constexpr int kWarmup = 400;
+  constexpr int kMeasured = 400;
+  int sent = 0;
+  std::function<void()> tick = [&] {
+    if (sent >= kWarmup + kMeasured) return;
+    world.stack(static_cast<ProcessId>(sent % n)).gbcast(kRbcastClass, sized_payload(sent, 256));
+    ++sent;
+    world.engine().schedule_after(kGap, tick);
+  };
+  world.engine().schedule_after(0, tick);
+  drive(world.engine(), sec(60), [&] { return delivered >= std::int64_t{kWarmup} * n; });
+  world.run_for(msec(100));  // drain in-flight acks so the pool is primed
+
+  const std::int64_t base = delivered;
+  const AllocSnapshot a0 = alloc_snapshot();
+  drive(world.engine(), sec(60),
+        [&] { return delivered >= std::int64_t{kWarmup + kMeasured} * n; });
+  world.run_for(msec(100));
+  const AllocSnapshot a1 = alloc_snapshot();
+
+  FastPathCheck check;
+  check.deliveries = delivered - base;
+  check.net_allocs = static_cast<std::int64_t>(a1.allocs - a0.allocs) -
+                     static_cast<std::int64_t>(a1.frees - a0.frees);
+  // The warm-up drain keeps the ticker running, so part of the nominal
+  // kMeasured budget lands before the base snapshot; demand a minimum
+  // window rather than the full count.
+  check.passed = check.deliveries >= std::int64_t{kMeasured} * n / 2 &&
+                 check.net_per_delivery() < 1.0;
+  return check;
+}
+
+int run_suite(const std::string& json_path) {
+  banner("wire path — bytes on the wire per delivered message",
+         "E6-style abcast and E3-style gbcast workloads under the slim\n"
+         "(id-only) and legacy (payload-inline) proposal formats; the\n"
+         "consensus column is the cost the slim format exists to cut");
+
+  std::vector<Cell> cells;
+  for (const int n : {3, 5, 7}) {
+    for (const std::size_t payload : {std::size_t{64}, std::size_t{1024}, std::size_t{8192}}) {
+      for (const WireFormat format : {WireFormat::kSlim, WireFormat::kLegacy}) {
+        cells.push_back(run_abcast_cell(n, payload, format));
+      }
+    }
+  }
+  for (const WireFormat format : {WireFormat::kSlim, WireFormat::kLegacy}) {
+    cells.push_back(run_gbcast_cell(7, 1024, format));
+  }
+
+  Table table({"layer", "n", "payload", "format", "delivered", "consensus B/msg",
+               "flood B/msg", "pull B/msg"});
+  for (const Cell& c : cells) {
+    table.add_row({c.layer, std::to_string(c.n), std::to_string(c.payload_bytes),
+                   format_name(c.format), std::to_string(c.delivered),
+                   fmt_double(c.per_delivered(c.consensus_wire_bytes), 1),
+                   fmt_double(c.per_delivered(c.flood_wire_bytes), 1),
+                   fmt_double(c.per_delivered(c.pull_wire_bytes), 1)});
+  }
+  table.print();
+
+  const FastPathCheck fastpath = run_fastpath_alloc_check();
+  std::printf("\n  gb fast-path steady state: %lld deliveries, net allocs %lld (%.3f/delivery) — %s\n",
+              static_cast<long long>(fastpath.deliveries),
+              static_cast<long long>(fastpath.net_allocs), fastpath.net_per_delivery(),
+              fastpath.passed ? "OK" : "FAILED");
+
+  std::FILE* out = std::fopen(json_path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"suite\": \"wire\",\n  \"schema\": 1,\n  \"cells\": [\n");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::fprintf(
+        out,
+        "    {\"layer\": \"%s\", \"n\": %d, \"payload_bytes\": %zu, \"format\": \"%s\",\n"
+        "     \"completed\": %s, \"delivered\": %lld,\n"
+        "     \"consensus_wire_bytes\": %lld, \"consensus_wire_msgs\": %lld,\n"
+        "     \"flood_wire_bytes\": %lld, \"pull_wire_bytes\": %lld,\n"
+        "     \"consensus_bytes_per_delivered\": %s, \"total_bytes_per_delivered\": %s,\n"
+        "     \"net_allocs_per_delivered\": %s}%s\n",
+        c.layer.c_str(), c.n, c.payload_bytes, format_name(c.format),
+        c.completed ? "true" : "false", static_cast<long long>(c.delivered),
+        static_cast<long long>(c.consensus_wire_bytes),
+        static_cast<long long>(c.consensus_wire_msgs),
+        static_cast<long long>(c.flood_wire_bytes), static_cast<long long>(c.pull_wire_bytes),
+        json_num(c.per_delivered(c.consensus_wire_bytes)).c_str(),
+        json_num(c.per_delivered(c.total_wire_bytes())).c_str(),
+        json_num(c.allocs_per_delivered()).c_str(), i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "  ],\n  \"fastpath_alloc_check\": {\"layer\": \"gbcast\", \"deliveries\": %lld, "
+               "\"net_allocs\": %lld, \"net_allocs_per_delivery\": %s, \"passed\": %s}\n}\n",
+               static_cast<long long>(fastpath.deliveries),
+               static_cast<long long>(fastpath.net_allocs),
+               json_num(fastpath.net_per_delivery()).c_str(), fastpath.passed ? "true" : "false");
+  std::fclose(out);
+  std::printf("\n  wrote %s\n", json_path.c_str());
+
+  bool all_completed = true;
+  for (const Cell& c : cells) all_completed = all_completed && c.completed;
+  if (!all_completed) std::fprintf(stderr, "some cells did not finish within budget\n");
+  return (fastpath.passed && all_completed) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace gcs::bench
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_wire.json";
+  gcs::bench::oracle_setup(argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+  }
+  const int rc = gcs::bench::run_suite(json_path);
+  const int oracle_rc = gcs::bench::oracle_verdict();
+  return rc != 0 ? rc : oracle_rc;
+}

@@ -7,21 +7,47 @@
 
 namespace gcs {
 
+namespace {
+// Tag::kAbcast channel messages (the payload-pull fallback).
+constexpr std::uint8_t kPull = 0;  ///< request: ids whose payloads are missing
+constexpr std::uint8_t kPush = 1;  ///< response: (id, subtag, payload) entries
+}  // namespace
+
 AtomicBroadcast::AtomicBroadcast(sim::Context& ctx, ReliableBroadcast& rbcast,
-                                 ConsensusProtocol& consensus)
-    : ctx_(ctx), rbcast_(rbcast), consensus_(consensus),
+                                 ConsensusProtocol& consensus, ReliableChannel* channel)
+    : AtomicBroadcast(ctx, rbcast, consensus, channel, Config{}) {}
+
+AtomicBroadcast::AtomicBroadcast(sim::Context& ctx, ReliableBroadcast& rbcast,
+                                 ConsensusProtocol& consensus, ReliableChannel* channel,
+                                 Config config)
+    : ctx_(ctx), rbcast_(rbcast), consensus_(consensus), channel_(channel), config_(config),
       m_broadcasts_(metric_id("abcast.broadcasts")),
       m_delivered_(metric_id("abcast.delivered")),
+      m_pull_requests_(metric_id("abcast.pull_requests")),
+      m_pull_served_(metric_id("abcast.pull_served")),
+      m_pushes_(metric_id("abcast.pushes")),
       h_order_latency_(metric_id("abcast.order_latency_us")), subscribers_(8) {
-  rbcast_.on_deliver([this](const MsgId& id, const Bytes& b) { on_rdeliver(id, b); });
+  rbcast_.on_deliver([this](const MsgId& id, BytesView b) { on_rdeliver(id, b); });
   consensus_.on_decide([this](std::uint64_t k, const Bytes& v) { on_decide(k, v); });
+  if (channel_) {
+    channel_->subscribe(Tag::kAbcast,
+                        [this](ProcessId from, BytesView b) { on_channel_message(from, b); });
+  }
   // Garbage collection: once a message is stable (received by every
   // member), the rbcast below suppresses any late relay of it, so our
-  // dedup entry can go. See reliable_broadcast.hpp for the floor protocol.
+  // dedup entry can go. The per-sender index makes each event O(stable
+  // prefix) — erase a contiguous seq range — instead of a scan of every
+  // id ever adelivered. Payloads in store_ are NOT pruned here: a stable
+  // message may still be awaiting its ordering decision, so the store is
+  // tail-GC'd by delivery instance instead (see process_decisions).
   rbcast_.on_stable([this](ProcessId sender, std::uint64_t upto) {
-    for (auto it = adelivered_.begin(); it != adelivered_.end();) {
-      it = (it->sender == sender && it->seq < upto) ? adelivered_.erase(it) : ++it;
-    }
+    ++gc_steps_;
+    auto it = adelivered_.find(sender);
+    if (it == adelivered_.end()) return;
+    auto& seqs = it->second;
+    const auto end = seqs.lower_bound(upto);
+    gc_steps_ += static_cast<std::uint64_t>(std::distance(seqs.begin(), end));
+    seqs.erase(seqs.begin(), end);
   });
 }
 
@@ -37,13 +63,24 @@ bool AtomicBroadcast::is_member() const {
   return std::find(members_.begin(), members_.end(), ctx_.self()) != members_.end();
 }
 
-MsgId AtomicBroadcast::abcast(SubTag subtag, Bytes payload) {
+bool AtomicBroadcast::is_adelivered(const MsgId& id) const {
+  auto it = adelivered_.find(id.sender);
+  return it != adelivered_.end() && it->second.count(id.seq) > 0;
+}
+
+bool AtomicBroadcast::mark_adelivered(const MsgId& id) {
+  return adelivered_[id.sender].insert(id.seq).second;
+}
+
+MsgId AtomicBroadcast::abcast(SubTag subtag, Payload payload) {
   assert(initialized_);
-  Encoder enc;
+  std::shared_ptr<Bytes> wire = ctx_.pool().acquire();
+  Encoder enc(*wire);
   enc.put_byte(subtag);
-  enc.put_bytes(payload);
+  enc.put_bytes(payload.bytes());
   ctx_.metrics().inc(m_broadcasts_);
-  const MsgId id = rbcast_.broadcast(enc.take());
+  const MsgId id =
+      rbcast_.broadcast(Payload(std::shared_ptr<const Bytes>(std::move(wire))));
   ctx_.trace_instant(obs::Names::get().abcast_submit, id, subtag);
   if (observe_submit_) observe_submit_(id, subtag);
   return id;
@@ -64,20 +101,27 @@ Bytes AtomicBroadcast::snapshot() const {
   Encoder enc;
   enc.put_vector(members_, [](Encoder& e, ProcessId p) { e.put_i32(p); });
   enc.put_u64(next_instance_);
-  enc.put_u64(adelivered_.size());
-  for (const MsgId& id : adelivered_) enc.put_msgid(id);
+  std::uint64_t count = 0;
+  for (const auto& [sender, seqs] : adelivered_) count += seqs.size();
+  enc.put_u64(count);
+  for (const auto& [sender, seqs] : adelivered_) {
+    for (const std::uint64_t seq : seqs) enc.put_msgid(MsgId{sender, seq});
+  }
   enc.put_bytes(rbcast_.stability_snapshot());
   return enc.take();
 }
 
-void AtomicBroadcast::restore(const Bytes& snapshot) {
+void AtomicBroadcast::restore(BytesView snapshot) {
   Decoder dec(snapshot);
   auto members = dec.get_vector<ProcessId>([](Decoder& d) { return d.get_i32(); });
   const std::uint64_t next = dec.get_u64();
   const std::uint64_t count = dec.get_u64();
-  std::unordered_set<MsgId> delivered;
-  for (std::uint64_t i = 0; i < count && dec.ok(); ++i) delivered.insert(dec.get_msgid());
-  const Bytes stability = dec.get_bytes();
+  std::map<ProcessId, std::set<std::uint64_t>> delivered;
+  for (std::uint64_t i = 0; i < count && dec.ok(); ++i) {
+    const MsgId id = dec.get_msgid();
+    delivered[id.sender].insert(id.seq);
+  }
+  const BytesView stability = dec.get_view();
   if (!dec.ok()) return;
   rbcast_.restore_stability(stability);
   members_ = std::move(members);
@@ -85,82 +129,99 @@ void AtomicBroadcast::restore(const Bytes& snapshot) {
   adelivered_ = std::move(delivered);
   // Discard anything learned while not a member: old pending messages are
   // either already delivered (covered by adelivered_) or will reappear in
-  // future decisions with payloads.
+  // future decisions, with payloads resolved via the store or a pull.
   for (auto it = pending_.begin(); it != pending_.end();) {
-    it = adelivered_.count(it->first) ? pending_.erase(it) : ++it;
+    it = is_adelivered(it->first) ? pending_.erase(it) : ++it;
   }
   decision_buffer_.erase(decision_buffer_.begin(),
                          decision_buffer_.lower_bound(next_instance_));
+  missing_.clear();
   initialized_ = true;
   instance_running_ = false;
   rbcast_.set_group(members_);
   try_start_instance();
 }
 
-void AtomicBroadcast::on_rdeliver(const MsgId& id, const Bytes& payload) {
-  if (adelivered_.count(id)) return;
+void AtomicBroadcast::on_rdeliver(const MsgId& id, BytesView payload) {
+  if (is_adelivered(id)) return;
   Decoder dec(payload);
   const SubTag subtag = dec.get_byte();
-  Bytes body = dec.get_bytes();
+  const BytesView body = dec.get_view();
   if (!dec.ok()) return;
-  pending_.emplace(id, Pending{subtag, std::move(body), ctx_.now()});
-  ctx_.trace_begin(obs::Names::get().abcast_pending, id, subtag);
+  if (store_.find(id) == store_.end()) store_.emplace(id, Stored{subtag, to_bytes(body)});
+  if (pending_.find(id) == pending_.end()) {
+    pending_.emplace(id, PendingMeta{subtag, ctx_.now()});
+    ctx_.trace_begin(obs::Names::get().abcast_pending, id, subtag);
+  }
+  resolve_missing(id);
   try_start_instance();
 }
 
 void AtomicBroadcast::try_start_instance() {
   if (!initialized_ || instance_running_ || pending_.empty() || !is_member()) return;
   instance_running_ = true;
-  // Propose the whole pending batch: (id, subtag, payload) triples in MsgId
-  // order. Payloads ride inside the proposal so that a process that missed
-  // the rbcast can still deliver from the decision alone.
-  Encoder enc;
-  enc.put_u64(pending_.size());
-  for (const auto& [id, msg] : pending_) {
-    enc.put_msgid(id);
-    enc.put_byte(msg.subtag);
-    enc.put_bytes(msg.payload);
+  // Propose the whole pending batch in MsgId order. Under the slim format
+  // the proposal is (id, subtag) tuples — O(batch · ~16B) regardless of
+  // payload size; payloads are resolved at delivery from store_.
+  BatchProposal prop;
+  prop.format = config_.wire_format;
+  prop.entries.reserve(pending_.size());
+  for (const auto& [id, meta] : pending_) {
+    ProposalEntry e;
+    e.id = id;
+    e.subtag = meta.subtag;
+    if (prop.format == WireFormat::kLegacy) {
+      auto sit = store_.find(id);
+      if (sit != store_.end()) e.payload = sit->second.payload;
+    }
+    prop.entries.push_back(std::move(e));
   }
+  Encoder enc;
+  prop.encode(enc);
   consensus_.propose(next_instance_, enc.take(), members_);
 }
 
 void AtomicBroadcast::on_decide(std::uint64_t k, const Bytes& value) {
   if (k >= next_instance_) decision_buffer_.emplace(k, value);
+  process_decisions();
+}
+
+void AtomicBroadcast::process_decisions() {
   // Drop any stale decisions (re-delivered duplicates) so they cannot block
   // the in-order processing loop below.
   decision_buffer_.erase(decision_buffer_.begin(),
                          decision_buffer_.lower_bound(next_instance_));
   // Process decisions strictly in instance order.
   while (!decision_buffer_.empty() && decision_buffer_.begin()->first == next_instance_) {
-    auto node = decision_buffer_.extract(decision_buffer_.begin());
-    const Bytes& batch = node.mapped();
-    Decoder dec(batch);
-    const std::uint64_t count = dec.get_u64();
-    struct Entry {
-      MsgId id;
-      SubTag subtag;
-      Bytes payload;
-    };
-    std::vector<Entry> entries;
-    entries.reserve(static_cast<std::size_t>(count));
-    for (std::uint64_t i = 0; i < count && dec.ok(); ++i) {
-      Entry e;
-      e.id = dec.get_msgid();
-      e.subtag = dec.get_byte();
-      e.payload = dec.get_bytes();
-      entries.push_back(std::move(e));
+    // Peek — the head decision stays buffered while payloads are missing.
+    Decoder dec(decision_buffer_.begin()->second);
+    BatchProposal prop = BatchProposal::decode(dec);
+    if (!dec.ok()) prop.entries.clear();  // corrupt decision: deliver nothing
+    if (prop.format == WireFormat::kSlim) {
+      missing_.clear();
+      for (const ProposalEntry& e : prop.entries) {
+        if (!is_adelivered(e.id) && store_.find(e.id) == store_.end()) {
+          missing_.insert(e.id);
+        }
+      }
+      if (!missing_.empty()) {
+        // Stall this instance (later ones queue behind it, preserving total
+        // order) and fetch the payload bytes from a peer.
+        request_pull();
+        return;
+      }
     }
-    if (!dec.ok()) entries.clear();  // corrupt decision: deliver nothing
+    decision_buffer_.erase(decision_buffer_.begin());
     // The proposer already ordered by MsgId (std::map iteration), but sort
     // defensively so the delivery order never depends on the proposer.
-    std::sort(entries.begin(), entries.end(),
-              [](const Entry& a, const Entry& b) { return a.id < b.id; });
+    std::sort(prop.entries.begin(), prop.entries.end(),
+              [](const ProposalEntry& a, const ProposalEntry& b) { return a.id < b.id; });
     const std::uint64_t instance = next_instance_;
     ++next_instance_;
     instance_running_ = false;
-    for (std::size_t idx = 0; idx < entries.size(); ++idx) {
-      const Entry& e = entries[idx];
-      if (!adelivered_.insert(e.id).second) continue;  // already ordered
+    for (std::size_t idx = 0; idx < prop.entries.size(); ++idx) {
+      const ProposalEntry& e = prop.entries[idx];
+      if (!mark_adelivered(e.id)) continue;  // already ordered
       if (auto pit = pending_.find(e.id); pit != pending_.end()) {
         ctx_.metrics().observe(h_order_latency_, ctx_.now() - pit->second.since);
         ctx_.trace_end(obs::Names::get().abcast_pending, e.id);
@@ -173,14 +234,108 @@ void AtomicBroadcast::on_decide(std::uint64_t k, const Bytes& value) {
         observe_deliver_(e.id, e.subtag, instance, static_cast<std::uint32_t>(idx));
       }
       if (e.subtag < subscribers_.size()) {
-        for (const auto& fn : subscribers_[e.subtag]) fn(e.id, e.payload);
+        if (prop.format == WireFormat::kLegacy) {
+          for (const auto& fn : subscribers_[e.subtag]) fn(e.id, e.payload);
+        } else {
+          // Present by the stall check above; stays alive until tail GC.
+          const Bytes& payload = store_.at(e.id).payload;
+          for (const auto& fn : subscribers_[e.subtag]) fn(e.id, payload);
+        }
       }
+      delivered_log_.emplace_back(instance, e.id);
+    }
+    // Tail GC: payloads of long-delivered messages have served every
+    // straggler that could still want them; drop them from the store.
+    while (!delivered_log_.empty() &&
+           delivered_log_.front().first + kPayloadRetainInstances < next_instance_) {
+      store_.erase(delivered_log_.front().second);
+      delivered_log_.pop_front();
     }
   }
   // Old decision values are dead weight; keep a small tail for stragglers'
   // DECIDE echoes, then let consensus forget them.
   if (next_instance_ > 16) consensus_.forget_below(next_instance_ - 16);
   try_start_instance();
+}
+
+void AtomicBroadcast::request_pull() {
+  if (missing_.empty() || channel_ == nullptr) return;
+  // Rotate targets so one slow/crashed peer cannot stall the pull forever;
+  // rbcast uniformity guarantees some correct member holds the payload.
+  ProcessId target = kNoProcess;
+  for (std::size_t step = 0; step < members_.size(); ++step) {
+    const ProcessId candidate = members_[pull_rr_++ % members_.size()];
+    if (candidate != ctx_.self()) {
+      target = candidate;
+      break;
+    }
+  }
+  if (target == kNoProcess) return;  // singleton group: nothing to pull from
+  std::shared_ptr<Bytes> wire = ctx_.pool().acquire();
+  Encoder enc(*wire);
+  enc.put_byte(kPull);
+  enc.put_u64(missing_.size());
+  for (const MsgId& id : missing_) enc.put_msgid(id);
+  channel_->send(target, Tag::kAbcast, Payload(std::shared_ptr<const Bytes>(std::move(wire))));
+  ctx_.metrics().inc(m_pull_requests_);
+  if (!pull_timer_armed_) {
+    pull_timer_armed_ = true;
+    ctx_.after(config_.pull_retry, [this] {
+      pull_timer_armed_ = false;
+      request_pull();
+    });
+  }
+}
+
+void AtomicBroadcast::resolve_missing(const MsgId& id) {
+  if (missing_.erase(id) > 0 && missing_.empty()) process_decisions();
+}
+
+void AtomicBroadcast::on_channel_message(ProcessId from, BytesView payload) {
+  Decoder dec(payload);
+  const std::uint8_t kind = dec.get_byte();
+  if (kind == kPull) {
+    const std::uint64_t n = dec.get_u64();
+    if (!dec.ok() || n > dec.remaining()) return;
+    // The entry count is only known after the store scan, and varints have
+    // no fixed width to patch, so entries are framed as one inner blob.
+    Encoder entries_enc;
+    std::uint64_t found = 0;
+    for (std::uint64_t i = 0; i < n && dec.ok(); ++i) {
+      const MsgId id = dec.get_msgid();
+      auto sit = store_.find(id);
+      if (sit == store_.end()) continue;
+      entries_enc.put_msgid(id);
+      entries_enc.put_byte(sit->second.subtag);
+      entries_enc.put_bytes(sit->second.payload);
+      ++found;
+    }
+    if (!dec.ok() || found == 0) return;
+    std::shared_ptr<Bytes> wire = ctx_.pool().acquire();
+    Encoder out(*wire);
+    out.put_byte(kPush);
+    out.put_u64(found);
+    out.put_bytes(entries_enc.bytes());
+    channel_->send(from, Tag::kAbcast, Payload(std::shared_ptr<const Bytes>(std::move(wire))));
+    ctx_.metrics().inc(m_pull_served_, static_cast<std::int64_t>(found));
+    return;
+  }
+  if (kind != kPush) return;
+  const std::uint64_t n = dec.get_u64();
+  if (!dec.ok() || n > dec.remaining()) return;
+  Decoder entries(dec.get_view());
+  bool resolved_any = false;
+  for (std::uint64_t i = 0; i < n && entries.ok(); ++i) {
+    const MsgId id = entries.get_msgid();
+    const SubTag subtag = entries.get_byte();
+    const BytesView body = entries.get_view();
+    if (!entries.ok()) break;
+    ctx_.metrics().inc(m_pushes_);
+    if (is_adelivered(id) || store_.find(id) != store_.end()) continue;
+    store_.emplace(id, Stored{subtag, to_bytes(body)});
+    if (missing_.erase(id) > 0) resolved_any = true;
+  }
+  if (resolved_any && missing_.empty()) process_decisions();
 }
 
 }  // namespace gcs

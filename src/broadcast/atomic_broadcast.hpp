@@ -11,6 +11,15 @@
 ///               instance k is a batch, delivered in deterministic (MsgId)
 ///               order; then k+1 starts if work remains.
 ///
+/// Wire-path memory model (DESIGN.md §12): under the default slim format,
+/// proposals carry only (MsgId, subtag) tuples — payload bytes never ride
+/// inside consensus. Deliveries resolve payloads from the local store fed
+/// by rbcast flooding. A process that decides an instance without holding
+/// some payload (late join / restore mid-instance; FIFO channels make this
+/// impossible for continuously-present members) stalls that instance and
+/// runs a bounded pull/push exchange over the reliable channel
+/// (Tag::kAbcast) until the payloads arrive, then resumes in order.
+///
 /// Dynamic membership (the membership layer lives ABOVE this component):
 /// view changes arrive as ordinary adelivered messages; set_members() takes
 /// effect for instances started after the current decision, so every member
@@ -21,11 +30,13 @@
 /// "the ordering problem is solved in exactly one place" (§4.1).
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <map>
-#include <unordered_set>
+#include <set>
 #include <vector>
 
+#include "broadcast/proposal.hpp"
 #include "broadcast/reliable_broadcast.hpp"
 #include "consensus/consensus.hpp"
 #include "consensus/consensus_protocol.hpp"
@@ -43,7 +54,22 @@ class AtomicBroadcast {
 
   using DeliverFn = std::function<void(const MsgId& id, const Bytes& payload)>;
 
-  AtomicBroadcast(sim::Context& ctx, ReliableBroadcast& rbcast, ConsensusProtocol& consensus);
+  struct Config {
+    /// Proposal wire format. kSlim keeps payloads out of consensus;
+    /// kLegacy is the payload-inline baseline (benchmarks compare both).
+    WireFormat wire_format = WireFormat::kSlim;
+    /// Retry period for the payload-pull fallback; each retry rotates to
+    /// the next member, so one unresponsive target cannot stall a joiner.
+    Duration pull_retry = msec(25);
+  };
+
+  /// \p channel carries the payload-pull fallback (Tag::kAbcast). Null
+  /// disables pulling — only safe for static groups that never restore
+  /// mid-instance, where FIFO channels guarantee flood-before-decision.
+  AtomicBroadcast(sim::Context& ctx, ReliableBroadcast& rbcast, ConsensusProtocol& consensus,
+                  ReliableChannel* channel, Config config);
+  AtomicBroadcast(sim::Context& ctx, ReliableBroadcast& rbcast, ConsensusProtocol& consensus,
+                  ReliableChannel* channel = nullptr);
 
   /// Install the initial view (Fig 9: init_view). Must be identical at all
   /// initial members. \p first_instance > 0 is used by joiners after state
@@ -52,7 +78,7 @@ class AtomicBroadcast {
 
   /// Atomically broadcast \p payload for layer \p subtag. Returns the
   /// message id (also passed to the delivery callback).
-  MsgId abcast(SubTag subtag, Bytes payload);
+  MsgId abcast(SubTag subtag, Payload payload);
 
   /// Total-order delivery for one subtag. Deliveries across subtags are
   /// interleaved in the single total order.
@@ -75,13 +101,23 @@ class AtomicBroadcast {
   Bytes snapshot() const;
 
   /// Install a snapshot (joiner side). Replaces init().
-  void restore(const Bytes& snapshot);
+  void restore(BytesView snapshot);
 
   /// Number of messages adelivered locally.
   std::uint64_t delivered_count() const { return delivered_count_; }
 
   /// Messages rdelivered but not yet ordered (probe gauge).
   std::size_t pending_count() const { return pending_.size(); }
+
+  /// Payloads currently retained for delivery / pull serving (tests assert
+  /// boundedness of the tail-GC'd store).
+  std::size_t store_size() const { return store_.size(); }
+
+  /// Total work performed by the stability GC over the adelivered dedup
+  /// index, in erased-entries (+1 per event). The per-sender index makes
+  /// this O(prefix) per event; the regression test bounds it against the
+  /// full-set-scan behavior it replaced.
+  std::uint64_t stability_gc_steps() const { return gc_steps_; }
 
   /// Oracle taps. The delivery observer reports the global total-order
   /// coordinate of each adelivery: consensus instance k plus the message's
@@ -98,29 +134,57 @@ class AtomicBroadcast {
   }
 
  private:
-  struct Pending {
+  struct PendingMeta {
     SubTag subtag;
-    Bytes payload;
     TimePoint since = 0;  // when rdelivered locally (order-latency metric)
   };
+  struct Stored {
+    SubTag subtag;
+    Bytes payload;
+  };
+  /// Delivered payloads are retained for this many further instances to
+  /// serve pulls from processes still catching up, then tail-GC'd.
+  static constexpr std::uint64_t kPayloadRetainInstances = 64;
 
-  void on_rdeliver(const MsgId& id, const Bytes& payload);
+  void on_rdeliver(const MsgId& id, BytesView payload);
   void on_decide(std::uint64_t k, const Bytes& value);
+  void on_channel_message(ProcessId from, BytesView payload);
+  void process_decisions();
   void try_start_instance();
+  void request_pull();
+  void resolve_missing(const MsgId& id);
+  bool is_adelivered(const MsgId& id) const;
+  bool mark_adelivered(const MsgId& id);
 
   sim::Context& ctx_;
   ReliableBroadcast& rbcast_;
   ConsensusProtocol& consensus_;
+  ReliableChannel* channel_;
+  Config config_;
   MetricId m_broadcasts_;
   MetricId m_delivered_;
+  MetricId m_pull_requests_;
+  MetricId m_pull_served_;
+  MetricId m_pushes_;
   MetricId h_order_latency_;  ///< rdeliver -> adeliver (time-to-order)
   std::vector<ProcessId> members_;
   bool initialized_ = false;
   std::uint64_t next_instance_ = 0;
   bool instance_running_ = false;
-  std::map<MsgId, Pending> pending_;            // rdelivered, not yet ordered
-  std::unordered_set<MsgId> adelivered_;
+  std::map<MsgId, PendingMeta> pending_;  // rdelivered, not yet ordered
+  std::map<MsgId, Stored> store_;         // payloads for delivery + pull serving
+  // Adelivered dedup, indexed per sender so the stability GC erases the
+  // stable prefix instead of scanning the whole set (satellite fix).
+  std::map<ProcessId, std::set<std::uint64_t>> adelivered_;
+  std::uint64_t gc_steps_ = 0;
   std::map<std::uint64_t, Bytes> decision_buffer_;  // out-of-order decisions
+  // Payloads the head decision needs but the store lacks; while non-empty
+  // the decision stays buffered and the pull timer rotates through peers.
+  std::set<MsgId> missing_;
+  std::size_t pull_rr_ = 0;  // rotating pull target index
+  bool pull_timer_armed_ = false;
+  // (instance, id) log of deliveries, driving the store's tail GC.
+  std::deque<std::pair<std::uint64_t, MsgId>> delivered_log_;
   std::vector<std::vector<DeliverFn>> subscribers_;
   std::uint64_t delivered_count_ = 0;
   SubmitObserver observe_submit_;

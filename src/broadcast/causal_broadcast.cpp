@@ -11,7 +11,7 @@ CausalBroadcast::CausalBroadcast(sim::Context& ctx, ReliableBroadcast& rbcast,
     : ctx_(ctx), rbcast_(rbcast),
       sent_(static_cast<std::size_t>(universe_size), 0),
       delivered_(static_cast<std::size_t>(universe_size), 0) {
-  rbcast_.on_deliver([this](const MsgId& id, const Bytes& b) { on_rdeliver(id, b); });
+  rbcast_.on_deliver([this](const MsgId& id, BytesView b) { on_rdeliver(id, b); });
 }
 
 MsgId CausalBroadcast::cbcast(Bytes payload) {
@@ -26,7 +26,7 @@ MsgId CausalBroadcast::cbcast(Bytes payload) {
   return rbcast_.broadcast(enc.take());
 }
 
-void CausalBroadcast::on_rdeliver(const MsgId& id, const Bytes& wire) {
+void CausalBroadcast::on_rdeliver(const MsgId& id, BytesView wire) {
   Decoder dec(wire);
   const std::uint64_t n = dec.get_u64();
   if (n != delivered_.size()) return;  // wrong universe: drop

@@ -50,7 +50,7 @@ class CausalBroadcast {
     Bytes payload;
   };
 
-  void on_rdeliver(const MsgId& id, const Bytes& wire);
+  void on_rdeliver(const MsgId& id, BytesView wire);
   bool deliverable(const Held& m) const;
   void drain();
 

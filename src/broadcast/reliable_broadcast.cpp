@@ -17,7 +17,7 @@ ReliableBroadcast::ReliableBroadcast(sim::Context& ctx, ReliableChannel& channel
       m_delivered_(metric_id("rbcast.delivered")),
       m_stability_gossip_(metric_id("rbcast.stability_gossip")),
       m_stability_pruned_(metric_id("rbcast.stability_pruned")) {
-  channel_.subscribe(tag_, [this](ProcessId from, const Bytes& b) { on_message(from, b); });
+  channel_.subscribe(tag_, [this](ProcessId from, BytesView b) { on_message(from, b); });
 }
 
 void ReliableBroadcast::set_group(std::vector<ProcessId> group) {
@@ -34,23 +34,32 @@ void ReliableBroadcast::set_group(std::vector<ProcessId> group) {
   }
 }
 
-MsgId ReliableBroadcast::broadcast(Bytes payload) {
+MsgId ReliableBroadcast::broadcast(Payload payload) {
   const MsgId id{ctx_.self(), next_seq_++};
-  broadcast_with_id(id, std::move(payload));
+  broadcast_with_id(id, payload);
   return id;
 }
 
-void ReliableBroadcast::broadcast_with_id(const MsgId& id, Bytes payload) {
+bool ReliableBroadcast::mark_seen(const MsgId& id) {
+  if (!seen_[id.sender].insert(id.seq).second) return false;
+  ++seen_count_;
+  return true;
+}
+
+void ReliableBroadcast::broadcast_with_id(const MsgId& id, const Payload& payload) {
   if (id.sender == ctx_.self() && id.seq >= next_seq_) next_seq_ = id.seq + 1;
-  if (below_floor(id) || !seen_.insert(id).second) return;  // already known
+  if (below_floor(id) || !mark_seen(id)) return;  // already known
   note_received(id);
-  Encoder enc;
+  // Frame into a pooled buffer; the channel's retransmit queues hold the
+  // shared buffer, so fan-out costs no copies and steady state no allocs.
+  std::shared_ptr<Bytes> wire = ctx_.pool().acquire();
+  Encoder enc(*wire);
   enc.put_byte(kData);
   enc.put_msgid(id);
-  enc.put_bytes(payload);
+  enc.put_bytes(payload.bytes());
   // Send to the whole group (ourselves excluded: we deliver directly below,
   // and marking the id seen suppresses the loopback copy).
-  channel_.send_group(group_, tag_, enc.bytes());
+  channel_.send_group(group_, tag_, Payload(std::shared_ptr<const Bytes>(std::move(wire))));
   ctx_.metrics().inc(m_broadcasts_);
   ctx_.metrics().inc(m_delivered_);
   ctx_.trace_instant(obs::Names::get().rbcast_flood, id,
@@ -58,10 +67,10 @@ void ReliableBroadcast::broadcast_with_id(const MsgId& id, Bytes payload) {
   ctx_.trace_instant(obs::Names::get().rbcast_deliver, id);
   if (observe_broadcast_) observe_broadcast_(id);
   if (observe_deliver_) observe_deliver_(id);
-  for (const auto& fn : deliver_fns_) fn(id, payload);
+  for (const auto& fn : deliver_fns_) fn(id, payload.bytes());
 }
 
-void ReliableBroadcast::on_message(ProcessId from, const Bytes& payload) {
+void ReliableBroadcast::on_message(ProcessId from, BytesView payload) {
   Decoder dec(payload);
   const std::uint8_t kind = dec.get_byte();
   if (kind == kData) {
@@ -71,14 +80,14 @@ void ReliableBroadcast::on_message(ProcessId from, const Bytes& payload) {
   }
 }
 
-void ReliableBroadcast::handle_data(const Bytes& wire) {
+void ReliableBroadcast::handle_data(BytesView wire) {
   Decoder dec(wire);
   dec.get_byte();  // kind
   const MsgId id = dec.get_msgid();
-  Bytes body = dec.get_bytes();
+  const BytesView body = dec.get_view();
   if (!dec.ok()) return;
-  if (below_floor(id)) return;           // stable: late relay of an old message
-  if (!seen_.insert(id).second) return;  // duplicate
+  if (below_floor(id)) return;   // stable: late relay of an old message
+  if (!mark_seen(id)) return;    // duplicate
   note_received(id);
   if (non_uniform_) {
     // Lazy mode: no relay at all — NOT uniform (see header).
@@ -88,8 +97,12 @@ void ReliableBroadcast::handle_data(const Bytes& wire) {
     for (const auto& fn : deliver_fns_) fn(id, body);
     return;
   }
-  // Relay before delivering: guarantees uniformity under crash-stop.
-  channel_.send_group(group_, tag_, wire);
+  // Relay before delivering: guarantees uniformity under crash-stop. The
+  // incoming view is materialized once into a pooled buffer that every
+  // destination's channel queue then shares.
+  std::shared_ptr<Bytes> relay = ctx_.pool().acquire();
+  relay->assign(wire.begin(), wire.end());
+  channel_.send_group(group_, tag_, Payload(std::shared_ptr<const Bytes>(std::move(relay))));
   ctx_.metrics().inc(m_delivered_);
   ctx_.trace_instant(obs::Names::get().rbcast_relay, id);
   ctx_.trace_instant(obs::Names::get().rbcast_deliver, id);
@@ -120,7 +133,9 @@ void ReliableBroadcast::enable_stability(Duration interval) {
   stability_enabled_ = true;
   gossip_interval_ = interval;
   // Seed the contiguous watermarks from what we already hold.
-  for (const MsgId& id : seen_) note_received(id);
+  for (const auto& [sender, seqs] : seen_) {
+    for (const std::uint64_t seq : seqs) note_received(MsgId{sender, seq});
+  }
   ctx_.after(gossip_interval_, [this] { gossip_tick(); });
 }
 
@@ -176,8 +191,13 @@ void ReliableBroadcast::recompute_floors() {
     if (floor <= current) continue;
     current = floor;
     // Prune the dedup set: ids below the floor answer via below_floor().
-    for (auto it = seen_.begin(); it != seen_.end();) {
-      it = (it->sender == sender && it->seq < floor) ? seen_.erase(it) : ++it;
+    // Per-sender index, so this erases exactly the stable prefix.
+    auto sit = seen_.find(sender);
+    if (sit != seen_.end()) {
+      auto& seqs = sit->second;
+      auto end = seqs.lower_bound(floor);
+      seen_count_ -= static_cast<std::size_t>(std::distance(seqs.begin(), end));
+      seqs.erase(seqs.begin(), end);
     }
     ctx_.metrics().inc(m_stability_pruned_);
     for (const auto& fn : stable_fns_) fn(sender, floor);
@@ -200,7 +220,7 @@ Bytes ReliableBroadcast::stability_snapshot() const {
   return enc.take();
 }
 
-void ReliableBroadcast::restore_stability(const Bytes& snapshot) {
+void ReliableBroadcast::restore_stability(BytesView snapshot) {
   Decoder dec(snapshot);
   const bool enabled = dec.get_bool();
   if (!enabled) return;

@@ -21,7 +21,6 @@
 #include <functional>
 #include <map>
 #include <set>
-#include <unordered_set>
 #include <vector>
 
 #include "channel/reliable_channel.hpp"
@@ -32,7 +31,9 @@ namespace gcs {
 
 class ReliableBroadcast {
  public:
-  using DeliverFn = std::function<void(const MsgId& id, const Bytes& payload)>;
+  /// Delivery hands a view of the payload valid only for the call; layers
+  /// that keep the bytes copy them into their own stores.
+  using DeliverFn = std::function<void(const MsgId& id, BytesView payload)>;
   /// Everything from \p sender with seq <= \p upto is stable group-wide.
   using StableFn = std::function<void(ProcessId sender, std::uint64_t upto)>;
 
@@ -48,11 +49,11 @@ class ReliableBroadcast {
   const std::vector<ProcessId>& group() const { return group_; }
 
   /// Broadcast \p payload; returns the id assigned to the message.
-  MsgId broadcast(Bytes payload);
+  MsgId broadcast(Payload payload);
 
   /// Broadcast under a caller-chosen id (id.sender must be self; seq must
   /// be fresh). Lets upper layers correlate their own identifiers.
-  void broadcast_with_id(const MsgId& id, Bytes payload);
+  void broadcast_with_id(const MsgId& id, const Payload& payload);
 
   /// ABLATION ONLY: skip the receiver-side relay ("lazy" broadcast).
   /// Cheaper — O(n) messages instead of O(n^2) — and NOT uniform: if the
@@ -78,7 +79,7 @@ class ReliableBroadcast {
   std::uint64_t stable_floor(ProcessId sender) const;
 
   /// Dedup-set size (tests assert boundedness; probe gauge).
-  std::size_t dedup_size() const { return seen_.size(); }
+  std::size_t dedup_size() const { return seen_count_; }
 
   /// Oracle taps: message origination (the local broadcast call actually
   /// admitting a fresh id) and local rdelivery. The wiring layer closes
@@ -94,11 +95,12 @@ class ReliableBroadcast {
   /// application snapshot covers the effects of those messages), keeping
   /// the group's stability floors moving after the join.
   Bytes stability_snapshot() const;
-  void restore_stability(const Bytes& snapshot);
+  void restore_stability(BytesView snapshot);
 
  private:
-  void on_message(ProcessId from, const Bytes& payload);
-  void handle_data(const Bytes& wire);
+  void on_message(ProcessId from, BytesView payload);
+  void handle_data(BytesView wire);
+  bool mark_seen(const MsgId& id);  // false if already seen
   void handle_watermarks(ProcessId from, Decoder& dec);
   void note_received(const MsgId& id);
   void gossip_tick();
@@ -114,7 +116,10 @@ class ReliableBroadcast {
   MetricId m_stability_pruned_;
   std::vector<ProcessId> group_;
   std::uint64_t next_seq_ = 0;
-  std::unordered_set<MsgId> seen_;
+  // Dedup set indexed per sender so stability GC erases a contiguous
+  // per-sender prefix instead of scanning every id ever seen.
+  std::map<ProcessId, std::set<std::uint64_t>> seen_;
+  std::size_t seen_count_ = 0;
   std::vector<DeliverFn> deliver_fns_;
   Observer observe_broadcast_;
   Observer observe_deliver_;

@@ -20,11 +20,23 @@ ReliableChannel::ReliableChannel(sim::Context& ctx, Transport& transport, Config
       m_retransmits_(metric_id("channel.retransmits")),
       h_residence_(metric_id("channel.residence_us")),
       handlers_(static_cast<std::size_t>(Tag::kMax)) {
+  for (std::size_t t = 0; t < static_cast<std::size_t>(Tag::kMax); ++t) {
+    const std::string base = tag_name(static_cast<Tag>(t));
+    m_up_wire_bytes_[t] = metric_id(base + ".wire_bytes");
+    m_up_wire_msgs_[t] = metric_id(base + ".wire_msgs");
+  }
   transport_.subscribe(Tag::kChannel,
-                       [this](ProcessId from, const Bytes& b) { on_datagram(from, b); });
+                       [this](ProcessId from, BytesView b) { on_datagram(from, b); });
 }
 
-void ReliableChannel::send(ProcessId to, Tag upper, Bytes payload) {
+void ReliableChannel::account_upper(Tag upper, std::size_t wire_bytes) {
+  const auto idx = static_cast<std::size_t>(upper);
+  if (idx >= m_up_wire_bytes_.size()) return;
+  ctx_.metrics().inc(m_up_wire_msgs_[idx]);
+  ctx_.metrics().inc(m_up_wire_bytes_[idx], static_cast<std::int64_t>(wire_bytes));
+}
+
+void ReliableChannel::send(ProcessId to, Tag upper, Payload payload) {
   PeerOut& peer = out_[to];
   const std::uint64_t seq = peer.next_seq++;
   peer.unacked.emplace(seq, Outgoing{upper, std::move(payload), kNeverSent});
@@ -76,20 +88,25 @@ void ReliableChannel::flush(ProcessId to) {
 
 void ReliableChannel::transmit_batch(
     ProcessId to, const std::vector<std::pair<std::uint64_t, const Outgoing*>>& msgs) {
-  Encoder enc;
+  // Frame into the reusable scratch buffer; u_send copies it into the
+  // outgoing datagram synchronously, so reuse per call is safe.
+  scratch_.clear();
+  Encoder enc(scratch_);
   enc.put_byte(kBatch);
   enc.put_u64(msgs.size());
   for (const auto& [seq, msg] : msgs) {
+    const std::size_t before = enc.size();
     enc.put_u64(seq);
     enc.put_byte(static_cast<std::uint8_t>(msg->upper));
-    enc.put_bytes(msg->payload);
+    enc.put_bytes(msg->payload.bytes());
+    account_upper(msg->upper, enc.size() - before);
     ctx_.trace_instant(obs::Names::get().channel_tx, MsgId{},
                        obs::pack_channel_arg(to, static_cast<std::uint8_t>(msg->upper),
                                              msg->payload.size()));
   }
   ++datagrams_sent_;
   ctx_.metrics().inc(m_batches_);
-  transport_.u_send(to, Tag::kChannel, enc.bytes());
+  transport_.u_send(to, Tag::kChannel, scratch_);
 }
 
 void ReliableChannel::subscribe(Tag upper, Handler handler) {
@@ -133,22 +150,26 @@ void ReliableChannel::transmit(ProcessId to, std::uint64_t seq, const Outgoing& 
   ctx_.trace_instant(obs::Names::get().channel_tx, MsgId{},
                      obs::pack_channel_arg(to, static_cast<std::uint8_t>(msg.upper),
                                            msg.payload.size()));
-  Encoder enc;
+  scratch_.clear();
+  Encoder enc(scratch_);
   enc.put_byte(kData);
+  const std::size_t before = enc.size();
   enc.put_u64(seq);
   enc.put_byte(static_cast<std::uint8_t>(msg.upper));
-  enc.put_bytes(msg.payload);
-  transport_.u_send(to, Tag::kChannel, enc.bytes());
+  enc.put_bytes(msg.payload.bytes());
+  account_upper(msg.upper, enc.size() - before);
+  transport_.u_send(to, Tag::kChannel, scratch_);
 }
 
 void ReliableChannel::send_ack(ProcessId to, std::uint64_t cumulative) {
-  Encoder enc;
+  scratch_.clear();
+  Encoder enc(scratch_);
   enc.put_byte(kAck);
   enc.put_u64(cumulative);
-  transport_.u_send(to, Tag::kChannel, enc.bytes());
+  transport_.u_send(to, Tag::kChannel, scratch_);
 }
 
-void ReliableChannel::on_datagram(ProcessId from, const Bytes& payload) {
+void ReliableChannel::on_datagram(ProcessId from, BytesView payload) {
   Decoder dec(payload);
   const std::uint8_t kind = dec.get_byte();
   if (kind == kAck) {
@@ -179,13 +200,20 @@ void ReliableChannel::on_datagram(ProcessId from, const Bytes& payload) {
   for (std::uint64_t i = 0; i < entries && dec.ok(); ++i) {
     const std::uint64_t seq = dec.get_u64();
     const Tag upper = static_cast<Tag>(dec.get_byte());
-    Bytes body = dec.get_bytes();
+    const BytesView body = dec.get_view();
     if (!dec.ok() || static_cast<std::size_t>(upper) >= handlers_.size()) break;
-    if (seq >= peer.next_expected && peer.holdback.find(seq) == peer.holdback.end()) {
-      peer.holdback.emplace(seq, std::make_pair(upper, std::move(body)));
+    if (seq < peer.next_expected) continue;  // duplicate
+    // Zero-copy fast path: the common case (in order, nothing held back)
+    // delivers the view straight out of the datagram buffer. Out-of-order
+    // arrivals are the only ones that pay a copy into the holdback.
+    if (seq == peer.next_expected && peer.holdback.empty()) {
+      ++peer.next_expected;
+      deliver(from, upper, body);
+    } else if (peer.holdback.find(seq) == peer.holdback.end()) {
+      peer.holdback.emplace(seq, std::make_pair(upper, to_bytes(body)));
     }
   }
-  // Deliver the in-order prefix.
+  // Deliver the in-order prefix of the holdback.
   while (!peer.holdback.empty() && peer.holdback.begin()->first == peer.next_expected) {
     auto node = peer.holdback.extract(peer.holdback.begin());
     ++peer.next_expected;
@@ -194,7 +222,7 @@ void ReliableChannel::on_datagram(ProcessId from, const Bytes& payload) {
   send_ack(from, peer.next_expected);
 }
 
-void ReliableChannel::deliver(ProcessId from, Tag upper, const Bytes& payload) {
+void ReliableChannel::deliver(ProcessId from, Tag upper, BytesView payload) {
   ctx_.metrics().inc(m_delivered_);
   ctx_.trace_instant(obs::Names::get().channel_rx, MsgId{},
                      obs::pack_channel_arg(from, static_cast<std::uint8_t>(upper),

@@ -13,6 +13,7 @@
 /// suspicion* (paper §3.3.2), consumed by the monitoring component.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <map>
 #include <vector>
@@ -24,7 +25,10 @@ namespace gcs {
 
 class ReliableChannel {
  public:
-  using Handler = std::function<void(ProcessId from, const Bytes& payload)>;
+  /// Receives a view into the channel's receive path (the datagram buffer
+  /// for in-order arrivals, the holdback copy otherwise); valid only for
+  /// the duration of the call.
+  using Handler = std::function<void(ProcessId from, BytesView payload)>;
 
   struct Config {
     Duration rto = msec(20);  ///< retransmission period for unacked messages
@@ -44,10 +48,13 @@ class ReliableChannel {
 
   /// Reliable FIFO send of \p payload to \p to, for the component owning
   /// \p upper. Messages to self are delivered through the loopback link.
-  void send(ProcessId to, Tag upper, Bytes payload);
+  /// Payload converts implicitly from Bytes; the shared buffer is held in
+  /// the retransmit queue without copying.
+  void send(ProcessId to, Tag upper, Payload payload);
 
-  /// Convenience: send the same payload to every process in \p group.
-  void send_group(const std::vector<ProcessId>& group, Tag upper, const Bytes& payload) {
+  /// Convenience: send the same payload to every process in \p group. One
+  /// shared buffer backs every destination's retransmit-queue entry.
+  void send_group(const std::vector<ProcessId>& group, Tag upper, const Payload& payload) {
     for (ProcessId p : group) send(p, upper, payload);
   }
 
@@ -87,7 +94,7 @@ class ReliableChannel {
  private:
   struct Outgoing {
     Tag upper;
-    Bytes payload;
+    Payload payload;
     TimePoint first_sent;  // kNeverSent while held back by flow control
   };
   static constexpr TimePoint kNeverSent = -1;
@@ -102,9 +109,10 @@ class ReliableChannel {
     std::map<std::uint64_t, std::pair<Tag, Bytes>> holdback;  // out-of-order
   };
 
-  void on_datagram(ProcessId from, const Bytes& payload);
-  void deliver(ProcessId from, Tag upper, const Bytes& payload);
+  void on_datagram(ProcessId from, BytesView payload);
+  void deliver(ProcessId from, Tag upper, BytesView payload);
   void send_ack(ProcessId to, std::uint64_t cumulative);
+  void account_upper(Tag upper, std::size_t wire_bytes);
   void transmit(ProcessId to, std::uint64_t seq, const Outgoing& msg);
   void transmit_batch(ProcessId to,
                       const std::vector<std::pair<std::uint64_t, const Outgoing*>>& msgs);
@@ -123,11 +131,17 @@ class ReliableChannel {
   MetricId m_delivered_;
   MetricId m_retransmits_;
   MetricId h_residence_;  ///< first transmit -> cumulative ack (time-in-channel)
+  // Per-upper-tag wire accounting ("<upper>.wire_bytes" / "<upper>.wire_msgs"):
+  // bytes this component put on the wire through the channel, counted at
+  // (re)transmit time so retransmissions are included.
+  std::array<MetricId, static_cast<std::size_t>(Tag::kMax)> m_up_wire_bytes_;
+  std::array<MetricId, static_cast<std::size_t>(Tag::kMax)> m_up_wire_msgs_;
   std::map<ProcessId, PeerOut> out_;
   std::map<ProcessId, PeerIn> in_;
   std::vector<Handler> handlers_;
   bool timer_armed_ = false;
   std::int64_t datagrams_sent_ = 0;
+  Bytes scratch_;  ///< reusable datagram framing buffer (capacity persists)
 };
 
 }  // namespace gcs

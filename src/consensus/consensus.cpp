@@ -23,7 +23,7 @@ Consensus::Consensus(sim::Context& ctx, ReliableChannel& channel, FailureDetecto
       m_rounds_(metric_id("consensus.rounds")),
       m_decided_(metric_id("consensus.decided")),
       h_latency_(metric_id("consensus.latency_us")) {
-  channel_.subscribe(tag_, [this](ProcessId from, const Bytes& b) { on_message(from, b); });
+  channel_.subscribe(tag_, [this](ProcessId from, BytesView b) { on_message(from, b); });
   fd_.on_suspect(fd_class_, [this](ProcessId q) { on_fd_suspect(q); });
 }
 
@@ -140,7 +140,7 @@ void Consensus::on_fd_suspect(ProcessId q) {
   }
 }
 
-void Consensus::on_message(ProcessId from, const Bytes& payload) {
+void Consensus::on_message(ProcessId from, BytesView payload) {
   Decoder dec(payload);
   const std::uint8_t kind = dec.get_byte();
   const std::uint64_t k = dec.get_u64();
@@ -213,7 +213,7 @@ void Consensus::maybe_propose_round(std::uint64_t k, Instance& inst, std::int64_
   enc.put_u64(k);
   enc.put_i64(r);
   enc.put_bytes(round.proposal);
-  channel_.send_group(inst.members, tag_, enc.bytes());
+  channel_.send_group(inst.members, tag_, enc.take());
 }
 
 void Consensus::handle_propose(ProcessId from, std::uint64_t k, std::int64_t r, Bytes value) {
@@ -275,7 +275,7 @@ void Consensus::decide(std::uint64_t k, Instance& inst, const Bytes& value) {
   enc.put_byte(kDecide);
   enc.put_u64(k);
   enc.put_bytes(value);
-  channel_.send_group(inst.members, tag_, enc.bytes());
+  channel_.send_group(inst.members, tag_, enc.take());
   // Our own DECIDE arrives via loopback and runs handle_decide.
 }
 
@@ -308,7 +308,7 @@ void Consensus::handle_decide(std::uint64_t k, Bytes value) {
       enc.put_byte(kDecide);
       enc.put_u64(k);
       enc.put_bytes(value);
-      channel_.send_group(it->second.members, tag_, enc.bytes());
+      channel_.send_group(it->second.members, tag_, enc.take());
     }
     instances_.erase(it);
   }

@@ -106,7 +106,7 @@ class Consensus final : public ConsensusProtocol {
     }
   };
 
-  void on_message(ProcessId from, const Bytes& payload);
+  void on_message(ProcessId from, BytesView payload);
   void handle_estimate(ProcessId from, std::uint64_t k, std::int64_t r, std::int64_t ts,
                        Bytes value);
   void handle_propose(ProcessId from, std::uint64_t k, std::int64_t r, Bytes value);

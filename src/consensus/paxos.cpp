@@ -25,7 +25,7 @@ PaxosConsensus::PaxosConsensus(sim::Context& ctx, ReliableChannel& channel,
       m_ballots_(metric_id("paxos.ballots_started")),
       m_decided_(metric_id("paxos.decided")),
       h_latency_(metric_id("consensus.latency_us")) {
-  channel_.subscribe(tag_, [this](ProcessId from, const Bytes& b) { on_message(from, b); });
+  channel_.subscribe(tag_, [this](ProcessId from, BytesView b) { on_message(from, b); });
   fd_.on_suspect(fd_class_, [this](ProcessId q) { on_fd_suspect(q); });
 }
 
@@ -91,7 +91,7 @@ void PaxosConsensus::start_ballot(std::uint64_t k, Instance& inst, std::int64_t 
   enc.put_byte(kPrepare);
   enc.put_u64(k);
   enc.put_i64(ballot);
-  channel_.send_group(inst.members, tag_, enc.bytes());
+  channel_.send_group(inst.members, tag_, enc.take());
 }
 
 void PaxosConsensus::maybe_take_over(std::uint64_t k, Instance& inst) {
@@ -126,7 +126,7 @@ void PaxosConsensus::on_fd_suspect(ProcessId q) {
   }
 }
 
-void PaxosConsensus::on_message(ProcessId from, const Bytes& payload) {
+void PaxosConsensus::on_message(ProcessId from, BytesView payload) {
   Decoder dec(payload);
   const std::uint8_t kind = dec.get_byte();
   const std::uint64_t k = dec.get_u64();
@@ -221,7 +221,7 @@ void PaxosConsensus::handle_promise(ProcessId /*from*/, std::uint64_t k, std::in
   enc.put_u64(k);
   enc.put_i64(b);
   enc.put_bytes(chosen);
-  channel_.send_group(inst.members, tag_, enc.bytes());
+  channel_.send_group(inst.members, tag_, enc.take());
 }
 
 void PaxosConsensus::handle_accept(ProcessId from, std::uint64_t k, std::int64_t b, Bytes v) {
@@ -261,7 +261,7 @@ void PaxosConsensus::handle_accepted(ProcessId /*from*/, std::uint64_t k, std::i
   enc.put_byte(kDecide);
   enc.put_u64(k);
   enc.put_bytes(chosen);
-  channel_.send_group(inst.members, tag_, enc.bytes());
+  channel_.send_group(inst.members, tag_, enc.take());
 }
 
 void PaxosConsensus::handle_nack(std::uint64_t k, std::int64_t b_high) {
@@ -298,7 +298,7 @@ void PaxosConsensus::handle_decide(std::uint64_t k, Bytes value) {
       enc.put_byte(kDecide);
       enc.put_u64(k);
       enc.put_bytes(value);
-      channel_.send_group(it->second.members, tag_, enc.bytes());
+      channel_.send_group(it->second.members, tag_, enc.take());
     }
     instances_.erase(it);
   }

@@ -90,7 +90,7 @@ class PaxosConsensus final : public ConsensusProtocol {
     }
   };
 
-  void on_message(ProcessId from, const Bytes& payload);
+  void on_message(ProcessId from, BytesView payload);
   void start_ballot(std::uint64_t k, Instance& inst, std::int64_t ballot);
   void maybe_take_over(std::uint64_t k, Instance& inst);
   void handle_prepare(ProcessId from, std::uint64_t k, std::int64_t b);

@@ -7,6 +7,13 @@
 
 namespace gcs {
 
+namespace {
+// Kind byte of Tag::kGbcast channel messages.
+constexpr std::uint8_t kGbAck = 0;
+constexpr std::uint8_t kGbPull = 1;
+constexpr std::uint8_t kGbPush = 2;
+}  // namespace
+
 GenericBroadcast::GenericBroadcast(sim::Context& ctx, ReliableChannel& channel,
                                    ReliableBroadcast& rbcast, AtomicBroadcast& abcast,
                                    ConflictRelation relation)
@@ -15,19 +22,28 @@ GenericBroadcast::GenericBroadcast(sim::Context& ctx, ReliableChannel& channel,
 GenericBroadcast::GenericBroadcast(sim::Context& ctx, ReliableChannel& channel,
                                    ReliableBroadcast& rbcast, AtomicBroadcast& abcast,
                                    ConflictRelation relation, Config config)
-    : ctx_(ctx), channel_(channel), rbcast_(rbcast), abcast_(abcast),
+    : ctx_(ctx),
       m_broadcasts_(metric_id("gbcast.broadcasts")),
       m_fast_delivered_(metric_id("gbcast.fast_delivered")),
       m_resolved_delivered_(metric_id("gbcast.resolved_delivered")),
       m_resolutions_(metric_id("gbcast.resolutions_triggered")),
       m_rounds_resolved_(metric_id("gbcast.rounds_resolved")),
+      m_pull_requests_(metric_id("gbcast.pull_requests")),
+      m_pull_served_(metric_id("gbcast.pull_served")),
+      m_pushes_(metric_id("gbcast.pushes")),
       h_fast_latency_(metric_id("gbcast.fast_latency_us")),
       h_slow_latency_(metric_id("gbcast.slow_latency_us")),
+      channel_(channel), rbcast_(rbcast), abcast_(abcast),
       relation_(std::move(relation)), config_(config) {
-  rbcast_.on_deliver([this](const MsgId& id, const Bytes& b) { on_gb_data(id, b); });
-  channel_.subscribe(Tag::kGbcast, [this](ProcessId from, const Bytes& b) { on_ack(from, b); });
+  rbcast_.on_deliver([this](const MsgId& id, BytesView b) { on_gb_data(id, b); });
+  channel_.subscribe(Tag::kGbcast,
+                     [this](ProcessId from, BytesView b) { on_channel_message(from, b); });
   abcast_.subscribe(AtomicBroadcast::kGbResolve,
                     [this](const MsgId& id, const Bytes& b) { on_report(id, b); });
+  // No stability hook for the delivered index: it is watermark-compressed
+  // (DeliveredIndex), so the out-of-order overflow self-prunes as gaps fill
+  // and the contiguous prefix collapses into the per-sender floor. Erasing
+  // overflow bits early would stall that collapse forever.
 }
 
 void GenericBroadcast::set_group(std::vector<ProcessId> group) {
@@ -59,26 +75,48 @@ int GenericBroadcast::tau() const {
   return t < 1 ? 1 : t;
 }
 
+bool GenericBroadcast::is_delivered(const MsgId& id) const {
+  const auto it = delivered_.find(id.sender);
+  if (it == delivered_.end()) return false;
+  return id.seq < it->second.floor || it->second.beyond.count(id.seq) != 0;
+}
+
+bool GenericBroadcast::mark_delivered(const MsgId& id) {
+  DeliveredIndex& idx = delivered_[id.sender];
+  if (id.seq < idx.floor) return false;
+  if (id.seq > idx.floor) return idx.beyond.insert(id.seq).second;
+  ++idx.floor;
+  // Collapse the contiguous run that was waiting on this gap.
+  auto it = idx.beyond.begin();
+  while (it != idx.beyond.end() && *it == idx.floor) {
+    it = idx.beyond.erase(it);
+    ++idx.floor;
+  }
+  return true;
+}
+
 MsgId GenericBroadcast::gbcast(MsgClass cls, Bytes payload) {
-  Encoder enc;
+  std::shared_ptr<Bytes> wire = ctx_.pool().acquire();
+  Encoder enc(*wire);
   enc.put_byte(cls);
   enc.put_bytes(payload);
   ctx_.metrics().inc(m_broadcasts_);
-  const MsgId id = rbcast_.broadcast(enc.take());
+  const MsgId id =
+      rbcast_.broadcast(Payload(std::shared_ptr<const Bytes>(std::move(wire))));
   ctx_.trace_instant(obs::Names::get().gb_submit, id, cls);
   if (observe_submit_) observe_submit_(id, cls);
   return id;
 }
 
-void GenericBroadcast::on_gb_data(const MsgId& id, const Bytes& wire) {
-  if (delivered_.count(id) || store_.count(id)) return;
+void GenericBroadcast::on_gb_data(const MsgId& id, BytesView wire) {
+  if (is_delivered(id) || store_.count(id)) return;
   Decoder dec(wire);
   const MsgClass cls = dec.get_byte();
-  Bytes payload = dec.get_bytes();
+  const BytesView body = dec.get_view();
   if (!dec.ok()) return;
-  Stored stored{cls, std::move(payload), sim::kNoTimer, ctx_.now()};
+  Stored stored{cls, to_bytes(body), sim::kNoTimer, ctx_.now()};
   stored.deadline = ctx_.after(config_.resolve_timeout, [this, id] {
-    if (!delivered_.count(id)) trigger_resolution();
+    if (!is_delivered(id)) trigger_resolution();
   });
   store_.emplace(id, std::move(stored));
   ctx_.trace_begin(obs::Names::get().gb_fast_pending, id, cls);
@@ -88,40 +126,147 @@ void GenericBroadcast::on_gb_data(const MsgId& id, const Bytes& wire) {
 }
 
 void GenericBroadcast::consider(const MsgId& id) {
-  if (!is_member() || frozen_ || delivered_.count(id)) return;
+  if (!is_member() || frozen_ || is_delivered(id)) return;
   const auto it = store_.find(id);
   if (it == store_.end()) return;
-  // Conflict check against everything we ACKed this round (fast-delivered
-  // messages stay in acked_: ACK sets of conflicting messages must be
-  // disjoint for the quorum-intersection argument to hold).
-  for (const MsgId& other : acked_) {
-    const auto oit = store_.find(other);
-    if (oit == store_.end()) continue;
-    if (relation_.conflicts(it->second.cls, oit->second.cls)) {
+  // Conflict check against everything we ACKed this round. The conflict
+  // predicate is purely class-based, so per-class ACK counts carry exactly
+  // the information the per-message scan this replaces did — including for
+  // already-settled messages, whose counts persist until the round ends
+  // (ACK sets of conflicting messages must stay disjoint for the
+  // quorum-intersection argument to hold).
+  for (std::size_t c = 0; c < acked_cls_.size(); ++c) {
+    if (acked_cls_[c] != 0 &&
+        relation_.conflicts(it->second.cls, static_cast<MsgClass>(c))) {
       trigger_resolution();
       return;
     }
   }
-  acked_.insert(id);
+  it->second.acked = true;
+  ++acked_cls_[it->second.cls];
   ctx_.trace_instant(obs::Names::get().gb_ack, id, static_cast<std::int64_t>(round_));
-  Encoder enc;
+  std::shared_ptr<Bytes> wire = ctx_.pool().acquire();
+  Encoder enc(*wire);
+  enc.put_byte(kGbAck);
   enc.put_u64(round_);
   enc.put_msgid(id);
-  channel_.send_group(group_, Tag::kGbcast, enc.bytes());
+  channel_.send_group(group_, Tag::kGbcast,
+                      Payload(std::shared_ptr<const Bytes>(std::move(wire))));
 }
 
-void GenericBroadcast::on_ack(ProcessId from, const Bytes& wire) {
+void GenericBroadcast::on_channel_message(ProcessId from, BytesView wire) {
   Decoder dec(wire);
+  const std::uint8_t kind = dec.get_byte();
+  if (!dec.ok()) return;
+  switch (kind) {
+    case kGbAck:
+      on_ack(from, dec);
+      break;
+    case kGbPull:
+      on_pull(from, dec);
+      break;
+    case kGbPush:
+      on_push(from, dec);
+      break;
+    default:
+      break;
+  }
+}
+
+void GenericBroadcast::on_ack(ProcessId from, Decoder& dec) {
   const std::uint64_t r = dec.get_u64();
   const MsgId id = dec.get_msgid();
   if (!dec.ok() || r < round_) return;  // stale round
-  if (delivered_.count(id)) return;
+  if (is_delivered(id)) {
+    // Late ACKs for a delivered message still count toward settlement
+    // (all-acked → the store entry can retire early), but must not revive
+    // bookkeeping that settlement already cleared.
+    const auto rit = acks_.find(r);
+    if (rit == acks_.end()) return;
+    const auto ait = rit->second.find(id);
+    if (ait == rit->second.end()) return;
+    ait->second.insert(from);
+    if (r == round_) maybe_settle(id);
+    return;
+  }
   acks_[r][id].insert(from);
   if (r == round_) maybe_fast_deliver(id);
 }
 
+void GenericBroadcast::on_pull(ProcessId from, Decoder& dec) {
+  const std::uint64_t n = dec.get_u64();
+  if (n > dec.remaining()) return;  // hostile count
+  // Collect what we can serve (store first, then the retired window), then
+  // frame the reply in one pooled buffer.
+  Encoder entries_enc;
+  std::uint64_t found = 0;
+  for (std::uint64_t i = 0; i < n && dec.ok(); ++i) {
+    const MsgId id = dec.get_msgid();
+    if (!dec.ok()) break;
+    if (const auto sit = store_.find(id); sit != store_.end()) {
+      entries_enc.put_msgid(id);
+      entries_enc.put_byte(sit->second.cls);
+      entries_enc.put_bytes(sit->second.payload);
+      ++found;
+    } else if (const auto rit = retired_.find(id); rit != retired_.end()) {
+      entries_enc.put_msgid(id);
+      entries_enc.put_byte(rit->second.first);
+      entries_enc.put_bytes(rit->second.second);
+      ++found;
+    }
+  }
+  if (found == 0) return;
+  std::shared_ptr<Bytes> wire = ctx_.pool().acquire();
+  Encoder enc(*wire);
+  enc.put_byte(kGbPush);
+  enc.put_u64(found);
+  enc.put_bytes(entries_enc.bytes());
+  channel_.send(from, Tag::kGbcast, Payload(std::shared_ptr<const Bytes>(std::move(wire))));
+  ctx_.metrics().inc(m_pull_served_, static_cast<std::int64_t>(found));
+}
+
+void GenericBroadcast::on_push(ProcessId, Decoder& dec) {
+  const std::uint64_t n = dec.get_u64();
+  Decoder entries(dec.get_view());
+  if (!dec.ok()) return;
+  bool resolved_any = false;
+  for (std::uint64_t i = 0; i < n && entries.ok(); ++i) {
+    const MsgId id = entries.get_msgid();
+    const MsgClass cls = entries.get_byte();
+    const BytesView body = entries.get_view();
+    if (!entries.ok()) break;
+    ctx_.metrics().inc(m_pushes_);
+    if (is_delivered(id) || store_.count(id)) continue;
+    // Resolution-path payload: no resolve deadline (the round is already
+    // resolving) and no fast-path latency sample.
+    store_.emplace(id, Stored{cls, to_bytes(body), sim::kNoTimer, 0});
+    if (missing_.erase(id) != 0) resolved_any = true;
+  }
+  if (resolved_any && missing_.empty()) maybe_finalize_round();
+}
+
+void GenericBroadcast::request_pull() {
+  if (missing_.empty() || group_.size() < 2) return;
+  ProcessId target = ctx_.self();
+  while (target == ctx_.self()) target = group_[pull_rr_++ % group_.size()];
+  std::shared_ptr<Bytes> wire = ctx_.pool().acquire();
+  Encoder enc(*wire);
+  enc.put_byte(kGbPull);
+  enc.put_u64(missing_.size());
+  for (const MsgId& id : missing_) enc.put_msgid(id);
+  channel_.send(target, Tag::kGbcast, Payload(std::shared_ptr<const Bytes>(std::move(wire))));
+  ctx_.metrics().inc(m_pull_requests_);
+  if (!pull_timer_armed_) {
+    pull_timer_armed_ = true;
+    ctx_.after(config_.pull_retry, [this] {
+      pull_timer_armed_ = false;
+      if (!missing_.empty()) request_pull();
+    });
+  }
+}
+
 void GenericBroadcast::maybe_fast_deliver(const MsgId& id) {
-  if (delivered_.count(id)) return;
+  if (is_delivered(id)) return;
   const auto rit = acks_.find(round_);
   if (rit == acks_.end()) return;
   const auto ait = rit->second.find(id);
@@ -135,11 +280,51 @@ void GenericBroadcast::maybe_fast_deliver(const MsgId& id) {
   ctx_.metrics().inc(m_fast_delivered_);
   ctx_.metrics().observe(h_fast_latency_, ctx_.now() - sit->second.received_at);
   deliver(id, sit->second.cls, sit->second.payload, /*fast=*/true);
+  maybe_settle(id);
+}
+
+void GenericBroadcast::maybe_settle(const MsgId& id) {
+  // Settlement = delivered here AND acked by the whole group. Every member
+  // then has the payload locally, so nobody can ever pull it from us out
+  // of need — the store entry moves to the (bounded) retired window and
+  // its ACK set is dropped. This is what keeps the fast path's working set
+  // flat when no conflict ever ends the round. The per-class ACK count is
+  // deliberately NOT decremented: conflict disjointness is a round-scoped
+  // invariant and must survive settlement.
+  if (!is_delivered(id)) return;
+  const auto rit = acks_.find(round_);
+  if (rit == acks_.end()) return;
+  const auto ait = rit->second.find(id);
+  if (ait == rit->second.end() || ait->second.size() < group_.size()) return;
+  rit->second.erase(ait);
+  if (const auto sit = store_.find(id); sit != store_.end()) retire_entry(sit);
+}
+
+std::map<MsgId, GenericBroadcast::Stored>::iterator GenericBroadcast::retire_entry(
+    std::map<MsgId, Stored>::iterator it) {
+  if (it->second.deadline != sim::kNoTimer) ctx_.cancel(it->second.deadline);
+  if (retired_
+          .emplace(it->first, std::make_pair(it->second.cls, std::move(it->second.payload)))
+          .second) {
+    retired_log_.emplace_back(round_, it->first);
+  }
+  const auto next = store_.erase(it);
+  prune_retired();
+  return next;
+}
+
+void GenericBroadcast::prune_retired() {
+  while (!retired_log_.empty() &&
+         (retired_log_.front().first + kRetiredRounds < round_ ||
+          retired_log_.size() > kRetiredCap)) {
+    retired_.erase(retired_log_.front().second);
+    retired_log_.pop_front();
+  }
 }
 
 void GenericBroadcast::deliver(const MsgId& id, MsgClass cls, const Bytes& payload,
                                bool fast, std::uint32_t pos) {
-  if (!delivered_.insert(id).second) return;
+  if (!mark_delivered(id)) return;
   if (observe_deliver_) observe_deliver_(id, cls, round_, fast, pos);
   const obs::Names& names = obs::Names::get();
   if (!fast) {
@@ -171,35 +356,44 @@ void GenericBroadcast::trigger_resolution() {
     ctx_.log().debug("gb resolution round=" + std::to_string(round_) + " store=" +
                      std::to_string(store_.size()));
   }
-  // Report = snapshot of our round: every message we know (payload
-  // included) plus whether we ACKed it.
+  // Report = snapshot of our round: every message we know plus whether we
+  // ACKed it. Slim format carries ids and classes only; payloads resolve
+  // from local stores (the pull fallback covers the holdouts).
   Encoder enc;
   enc.put_u64(round_);
+  enc.put_byte(static_cast<std::uint8_t>(config_.wire_format));
   enc.put_u64(store_.size());
   for (const auto& [id, stored] : store_) {
     enc.put_msgid(id);
     enc.put_byte(stored.cls);
-    enc.put_bytes(stored.payload);
-    enc.put_bool(acked_.count(id) != 0);
+    if (config_.wire_format == WireFormat::kLegacy) enc.put_bytes(stored.payload);
+    enc.put_bool(stored.acked);
   }
   abcast_.abcast(AtomicBroadcast::kGbResolve, enc.take());
 }
 
-void GenericBroadcast::on_report(const MsgId& report_id, const Bytes& wire) {
+void GenericBroadcast::on_report(const MsgId& report_id, BytesView wire) {
   Decoder dec(wire);
   const std::uint64_t r = dec.get_u64();
   if (!dec.ok() || r != round_) return;  // late report from a finished round
+  const std::uint8_t fmt = dec.get_byte();
+  if (!dec.ok() || fmt > static_cast<std::uint8_t>(WireFormat::kLegacy)) return;
+  const bool inline_payloads = fmt == static_cast<std::uint8_t>(WireFormat::kLegacy);
   const ProcessId reporter = report_id.sender;
   if (!reporters_.insert(reporter).second) return;  // one report per member
   const std::uint64_t count = dec.get_u64();
   for (std::uint64_t i = 0; i < count && dec.ok(); ++i) {
     const MsgId id = dec.get_msgid();
     const MsgClass cls = dec.get_byte();
-    Bytes payload = dec.get_bytes();
+    BytesView payload;
+    if (inline_payloads) payload = dec.get_view();
     const bool acked = dec.get_bool();
     if (!dec.ok()) break;
     if (acked) ++report_ack_counts_[id];
-    report_union_.emplace(id, std::make_pair(cls, std::move(payload)));
+    report_cls_.emplace(id, cls);
+    if (inline_payloads && !is_delivered(id) && !store_.count(id)) {
+      store_.emplace(id, Stored{cls, to_bytes(payload), sim::kNoTimer, 0});
+    }
   }
   // A report commits everyone to this round's resolution: contribute ours.
   if (!resolving_) trigger_resolution();
@@ -214,8 +408,8 @@ void GenericBroadcast::maybe_finalize_round() {
   // identical everywhere.
   std::vector<MsgId> first;
   std::vector<MsgId> second;
-  for (const auto& [id, entry] : report_union_) {
-    (void)entry;
+  for (const auto& [id, cls] : report_cls_) {
+    (void)cls;
     const auto cit = report_ack_counts_.find(id);
     const int ack_count = cit == report_ack_counts_.end() ? 0 : cit->second;
     if (ack_count >= tau()) {
@@ -227,17 +421,31 @@ void GenericBroadcast::maybe_finalize_round() {
   // std::map iteration is MsgId-ordered already; keep the sort explicit.
   std::sort(first.begin(), first.end());
   std::sort(second.begin(), second.end());
+  // Slim reports carry no payloads: every undelivered message of the
+  // sequence must be resolvable from the local store before the round can
+  // finalize. Anything missing (late join, restore mid-resolution) stalls
+  // the round locally and is pulled; pushes re-enter here.
+  missing_.clear();
+  for (const std::vector<MsgId>* seq : {&first, &second}) {
+    for (const MsgId& id : *seq) {
+      if (!is_delivered(id) && !store_.count(id)) missing_.insert(id);
+    }
+  }
+  if (!missing_.empty()) {
+    request_pull();
+    return;
+  }
   // Positions are batch-absolute across the first+second sequence, so every
   // member attributes the same (round, pos) coordinate to each message even
   // though each skips its own fast-delivered prefix inside deliver().
   std::uint32_t pos = 0;
-  for (const MsgId& id : first) {
-    const auto& [cls, payload] = report_union_.at(id);
-    deliver(id, cls, payload, /*fast=*/false, pos++);
-  }
-  for (const MsgId& id : second) {
-    const auto& [cls, payload] = report_union_.at(id);
-    deliver(id, cls, payload, /*fast=*/false, pos++);
+  for (const std::vector<MsgId>* seq : {&first, &second}) {
+    for (const MsgId& id : *seq) {
+      if (const auto sit = store_.find(id); sit != store_.end()) {
+        deliver(id, sit->second.cls, sit->second.payload, /*fast=*/false, pos);
+      }
+      ++pos;
+    }
   }
   ++rounds_resolved_;
   ctx_.metrics().inc(m_rounds_resolved_);
@@ -256,14 +464,18 @@ Bytes GenericBroadcast::snapshot() const {
     enc.put_msgid(id);
     enc.put_i32(count);
   }
-  enc.put_u64(report_union_.size());
-  for (const auto& [id, entry] : report_union_) {
+  enc.put_u64(report_cls_.size());
+  for (const auto& [id, cls] : report_cls_) {
     enc.put_msgid(id);
-    enc.put_byte(entry.first);
-    enc.put_bytes(entry.second);
+    enc.put_byte(cls);
   }
   enc.put_u64(delivered_.size());
-  for (const MsgId& id : delivered_) enc.put_msgid(id);
+  for (const auto& [sender, idx] : delivered_) {
+    enc.put_i32(sender);
+    enc.put_u64(idx.floor);
+    enc.put_u64(idx.beyond.size());
+    for (const std::uint64_t seq : idx.beyond) enc.put_u64(seq);
+  }
   enc.put_u64(store_.size());
   for (const auto& [id, stored] : store_) {
     enc.put_msgid(id);
@@ -273,7 +485,7 @@ Bytes GenericBroadcast::snapshot() const {
   return enc.take();
 }
 
-void GenericBroadcast::restore(const Bytes& snapshot) {
+void GenericBroadcast::restore(BytesView snapshot) {
   Decoder dec(snapshot);
   round_ = dec.get_u64();
   reporters_.clear();
@@ -285,21 +497,30 @@ void GenericBroadcast::restore(const Bytes& snapshot) {
     const MsgId id = dec.get_msgid();
     report_ack_counts_[id] = dec.get_i32();
   }
-  report_union_.clear();
-  const std::uint64_t n_union = dec.get_u64();
-  for (std::uint64_t i = 0; i < n_union && dec.ok(); ++i) {
+  report_cls_.clear();
+  const std::uint64_t n_cls = dec.get_u64();
+  for (std::uint64_t i = 0; i < n_cls && dec.ok(); ++i) {
     const MsgId id = dec.get_msgid();
-    const MsgClass cls = dec.get_byte();
-    report_union_[id] = std::make_pair(cls, dec.get_bytes());
+    report_cls_[id] = dec.get_byte();
   }
   delivered_.clear();
   const std::uint64_t n_del = dec.get_u64();
-  for (std::uint64_t i = 0; i < n_del && dec.ok(); ++i) delivered_.insert(dec.get_msgid());
+  for (std::uint64_t i = 0; i < n_del && dec.ok(); ++i) {
+    const ProcessId sender = dec.get_i32();
+    DeliveredIndex idx;
+    idx.floor = dec.get_u64();
+    const std::uint64_t n_beyond = dec.get_u64();
+    for (std::uint64_t j = 0; j < n_beyond && dec.ok(); ++j) idx.beyond.insert(dec.get_u64());
+    delivered_[sender] = std::move(idx);
+  }
   for (auto& [id, stored] : store_) {
     if (stored.deadline != sim::kNoTimer) ctx_.cancel(stored.deadline);
     (void)id;
   }
   store_.clear();
+  retired_.clear();
+  retired_log_.clear();
+  missing_.clear();
   const std::uint64_t n_store = dec.get_u64();
   for (std::uint64_t i = 0; i < n_store && dec.ok(); ++i) {
     const MsgId id = dec.get_msgid();
@@ -307,16 +528,17 @@ void GenericBroadcast::restore(const Bytes& snapshot) {
     stored.cls = dec.get_byte();
     stored.payload = dec.get_bytes();
     stored.deadline = ctx_.after(config_.resolve_timeout, [this, id] {
-      if (!delivered_.count(id)) trigger_resolution();
+      if (!is_delivered(id)) trigger_resolution();
     });
     store_.emplace(id, std::move(stored));
   }
   frozen_ = false;
   resolving_ = false;
-  acked_.clear();
+  acked_cls_.fill(0);
   acks_.clear();
   // We may be the report that completes the quorum count after a member was
-  // excluded; harmless otherwise.
+  // excluded; harmless otherwise. Under the slim format this may also park
+  // the round on the pull path until donors push the missing payloads.
   maybe_finalize_round();
 }
 
@@ -324,30 +546,33 @@ void GenericBroadcast::start_new_round() {
   ++round_;
   frozen_ = false;
   resolving_ = false;
-  acked_.clear();
+  acked_cls_.fill(0);
   reporters_.clear();
   report_ack_counts_.clear();
-  report_union_.clear();
+  report_cls_.clear();
+  missing_.clear();
   // Drop ACK bookkeeping for finished rounds.
   acks_.erase(acks_.begin(), acks_.lower_bound(round_));
-  // Carry undelivered messages into the new round: drop delivered entries,
-  // re-ACK (or re-trigger) the survivors and restart their deadlines.
+  // Carry undelivered messages into the new round: retire delivered
+  // entries into the pull window, re-ACK (or re-trigger) the survivors and
+  // restart their deadlines.
   std::vector<MsgId> carried;
   for (auto it = store_.begin(); it != store_.end();) {
-    if (delivered_.count(it->first)) {
-      if (it->second.deadline != sim::kNoTimer) ctx_.cancel(it->second.deadline);
-      it = store_.erase(it);
+    if (is_delivered(it->first)) {
+      it = retire_entry(it);
     } else {
       carried.push_back(it->first);
       ++it;
     }
   }
+  prune_retired();
   for (const MsgId& id : carried) {
     auto& stored = store_.at(id);
     if (stored.deadline != sim::kNoTimer) ctx_.cancel(stored.deadline);
     stored.deadline = ctx_.after(config_.resolve_timeout, [this, id] {
-      if (!delivered_.count(id)) trigger_resolution();
+      if (!is_delivered(id)) trigger_resolution();
     });
+    stored.acked = false;
     consider(id);
     maybe_fast_deliver(id);
   }

@@ -18,17 +18,27 @@
 ///
 ///   Resolution path (conflict observed, or a message lingers past a
 ///   timeout): members freeze their ACK sets and *atomically broadcast* a
-///   report (their acked + seen messages, payloads included). Reports are
-///   totally ordered by the atomic broadcast below (Fig 7/9: generic
-///   broadcast uses atomic broadcast only when conflicts occur — the
-///   "thrifty" property). When the first n−f reports of the round have been
-///   adelivered, every member deterministically computes:
+///   report of their round. Reports are totally ordered by the atomic
+///   broadcast below (Fig 7/9: generic broadcast uses atomic broadcast only
+///   when conflicts occur — the "thrifty" property). When the first n−f
+///   reports of the round have been adelivered, every member
+///   deterministically computes:
 ///      first  = messages acked in ≥ (fast_quorum − f) of those reports
 ///               — a superset of everything that may have been
 ///               fast-delivered anywhere;
 ///      second = all other reported messages.
 ///   and delivers first, then second (each in MsgId order), skipping what
 ///   it already delivered. The round then ends and a new round starts.
+///
+/// Wire-path memory model (DESIGN.md §12): under the default slim format a
+/// report carries (MsgId, class, acked) tuples only — payloads never ride
+/// through consensus. Each member resolves payloads from its local store
+/// (fed by the reliable-broadcast flood); a member that reaches the
+/// finalize point missing some payload stalls the round locally and runs a
+/// bounded pull/push exchange on Tag::kGbcast against rotating peers, which
+/// serve from their store or from a small window of recently retired
+/// (delivered) payloads. The legacy format (payloads inline in reports) is
+/// kept as the benchmark baseline.
 ///
 /// Quorum arithmetic (n = |group|, f = ⌊(n−1)/3⌋):
 ///   fast_quorum  = ⌊2n/3⌋ + 1     (> 2n/3)
@@ -42,14 +52,16 @@
 /// f < n/2).
 #pragma once
 
+#include <array>
+#include <deque>
 #include <functional>
 #include <map>
 #include <set>
-#include <unordered_map>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "broadcast/atomic_broadcast.hpp"
+#include "broadcast/proposal.hpp"
 #include "broadcast/reliable_broadcast.hpp"
 #include "channel/reliable_channel.hpp"
 #include "core/conflict.hpp"
@@ -66,6 +78,12 @@ class GenericBroadcast {
     /// A message not gdelivered within this bound triggers resolution even
     /// without an observed conflict (liveness when ackers crash).
     Duration resolve_timeout = msec(200);
+    /// Report wire format. kSlim keeps payloads out of the resolution path;
+    /// kLegacy is the payload-inline baseline (benchmarks compare both).
+    WireFormat wire_format = WireFormat::kSlim;
+    /// Retry period for the payload-pull fallback; each retry rotates to
+    /// the next member, so one unresponsive peer cannot stall the round.
+    Duration pull_retry = msec(25);
     /// TESTING/ABLATION ONLY: override the fast quorum size. Values at or
     /// below 2n/3 BREAK the safety argument (two conflicting messages can
     /// both gather a quorum); bench_e8 demonstrates exactly that. 0 = use
@@ -96,11 +114,15 @@ class GenericBroadcast {
   /// Serialize the generic-broadcast state a joiner needs: round number,
   /// resolution progress (which is a pure function of the adelivered prefix
   /// and hence identical at every member at a view-change point), delivered
-  /// ids, and the payload cache of seen-but-undelivered messages.
+  /// ids, and the payload cache of seen-but-undelivered messages. The
+  /// retired-payload pull window is deliberately excluded: a fresh joiner
+  /// simply declines pulls it cannot serve.
   Bytes snapshot() const;
 
-  /// Install a snapshot (joiner side).
-  void restore(const Bytes& snapshot);
+  /// Install a snapshot (joiner side). Under the slim format a snapshot
+  /// taken mid-resolution may reference payloads the donor no longer
+  /// inlines; the finalize step detects those and pulls them.
+  void restore(BytesView snapshot);
 
   /// -- statistics (E3/E6 use these) ------------------------------------
   std::uint64_t fast_deliveries() const { return fast_deliveries_; }
@@ -110,6 +132,9 @@ class GenericBroadcast {
   /// Messages seen (payload cached) and not yet garbage collected — the
   /// current round's working set (probe gauge).
   std::size_t store_size() const { return store_.size(); }
+  /// Recently retired payloads held back to serve late pulls (bounded by
+  /// the kRetiredRounds window; probe gauge).
+  std::size_t retired_size() const { return retired_.size(); }
 
   /// Oracle taps. The delivery observer reports each gdelivery's global
   /// coordinate: the GB round, whether it took the fast path, and — for
@@ -130,19 +155,49 @@ class GenericBroadcast {
     Bytes payload;
     sim::TimerId deadline = sim::kNoTimer;
     TimePoint received_at = 0;  // payload arrival (fast/slow latency metric)
+    bool acked = false;         // we ACKed it this round (report flag)
   };
+  /// Per-sender delivered-dedup index, compressed to a watermark: every seq
+  /// below \c floor is delivered, out-of-order deliveries wait in \c beyond
+  /// until the gap fills and the prefix collapses into the floor. In-order
+  /// traffic (the fast path) is allocation-net-zero: the set node inserted
+  /// per delivery is freed by the very next collapse.
+  struct DeliveredIndex {
+    std::uint64_t floor = 0;
+    std::set<std::uint64_t> beyond;
+  };
+  /// Delivered payloads stay pullable for this many further rounds.
+  static constexpr std::uint64_t kRetiredRounds = 4;
+  /// Hard cap on the retired-payload window: rounds only advance when
+  /// conflicts resolve, so a purely commutative run would otherwise retain
+  /// every settled payload forever. Pulls target messages some member still
+  /// holds undelivered in its active store, so the window is a fast-serve
+  /// optimization, not a correctness requirement — a few hundred entries
+  /// cover any realistic pull latency.
+  static constexpr std::size_t kRetiredCap = 256;
 
   bool is_member() const;
-  void on_gb_data(const MsgId& id, const Bytes& wire);
+  void on_gb_data(const MsgId& id, BytesView wire);
   void consider(const MsgId& id);  // ack or trigger resolution
-  void on_ack(ProcessId from, const Bytes& wire);
+  void on_channel_message(ProcessId from, BytesView wire);
+  void on_ack(ProcessId from, Decoder& dec);
+  void on_pull(ProcessId from, Decoder& dec);
+  void on_push(ProcessId from, Decoder& dec);
+  void request_pull();
   void maybe_fast_deliver(const MsgId& id);
+  void maybe_settle(const MsgId& id);
+  /// Move a store entry's payload into the retired pull window and erase
+  /// it from the store; returns the iterator past the erased entry.
+  std::map<MsgId, Stored>::iterator retire_entry(std::map<MsgId, Stored>::iterator it);
+  void prune_retired();
   void trigger_resolution();
-  void on_report(const MsgId& report_id, const Bytes& wire);
+  void on_report(const MsgId& report_id, BytesView wire);
   void maybe_finalize_round();
   void deliver(const MsgId& id, MsgClass cls, const Bytes& payload, bool fast,
                std::uint32_t pos = 0);
   void start_new_round();
+  bool is_delivered(const MsgId& id) const;
+  bool mark_delivered(const MsgId& id);
   int fast_quorum() const;
   int report_need() const;
   int tau() const;
@@ -153,6 +208,9 @@ class GenericBroadcast {
   MetricId m_resolved_delivered_;
   MetricId m_resolutions_;
   MetricId m_rounds_resolved_;
+  MetricId m_pull_requests_;
+  MetricId m_pull_served_;
+  MetricId m_pushes_;
   MetricId h_fast_latency_;  ///< payload arrival -> fast-path delivery
   MetricId h_slow_latency_;  ///< payload arrival -> resolution delivery
   ReliableChannel& channel_;
@@ -166,18 +224,33 @@ class GenericBroadcast {
   bool frozen_ = false;     // report sent; no more ACKs this round
   bool resolving_ = false;  // resolution in progress this round
 
-  // All-time state.
-  std::unordered_set<MsgId> delivered_;
+  // Delivered dedup, indexed per sender and watermark-compressed (see
+  // DeliveredIndex); the reliable broadcast's stability callback prunes
+  // stragglers that are stuck in the out-of-order overflow. Entries still
+  // in store_ survive pruning: they are consulted until their round (or
+  // settlement) retires them.
+  std::map<ProcessId, DeliveredIndex> delivered_;
   // Messages seen (payload known) and possibly not yet delivered this round.
   std::map<MsgId, Stored> store_;
-  // Messages we ACKed in the current round (fast-delivered ones included).
-  std::set<MsgId> acked_;
+  // Delivered payloads retained to serve late pulls; (round, id) log drives
+  // the eviction (round window for resolved rounds, count cap overall).
+  std::map<MsgId, std::pair<MsgClass, Bytes>> retired_;
+  std::deque<std::pair<std::uint64_t, MsgId>> retired_log_;
+  // ACK counts per class for the current round. The conflict check only
+  // depends on classes, so this fixed array replaces a scan over every
+  // message we ACKed — O(#classes) per considered message, zero heap.
+  std::array<std::uint32_t, 256> acked_cls_{};
   // ACK counts per round (current and future rounds only).
   std::map<std::uint64_t, std::map<MsgId, std::set<ProcessId>>> acks_;
   // Resolution state for the current round.
   std::set<ProcessId> reporters_;
   std::map<MsgId, int> report_ack_counts_;
-  std::map<MsgId, std::pair<MsgClass, Bytes>> report_union_;
+  std::map<MsgId, MsgClass> report_cls_;
+  // Payloads the finalize step needs but the store lacks (slim format /
+  // restore); while non-empty the round stalls locally and pulls rotate.
+  std::set<MsgId> missing_;
+  std::size_t pull_rr_ = 0;
+  bool pull_timer_armed_ = false;
 
   std::vector<DeliverFn> deliver_fns_;
   SubmitObserver observe_submit_;

@@ -24,7 +24,7 @@ GroupMembership::GroupMembership(sim::Context& ctx, ReliableChannel& channel,
                                  AtomicBroadcast& abcast, GenericBroadcast* gbcast)
     : ctx_(ctx), channel_(channel), abcast_(abcast), gbcast_(gbcast) {
   channel_.subscribe(Tag::kMembership,
-                     [this](ProcessId from, const Bytes& b) { on_channel_message(from, b); });
+                     [this](ProcessId from, BytesView b) { on_channel_message(from, b); });
   abcast_.subscribe(AtomicBroadcast::kViewChange,
                     [this](const MsgId& id, const Bytes& b) { on_view_change(id, b); });
 }
@@ -70,7 +70,7 @@ void GroupMembership::remove(ProcessId q) {
   abcast_.abcast(AtomicBroadcast::kViewChange, enc.take());
 }
 
-void GroupMembership::on_channel_message(ProcessId from, const Bytes& payload) {
+void GroupMembership::on_channel_message(ProcessId from, BytesView payload) {
   Decoder dec(payload);
   const std::uint8_t kind = dec.get_byte();
   if (kind == kJoinReq) {
@@ -179,15 +179,17 @@ void GroupMembership::send_state(ProcessId joiner) {
   channel_.send(joiner, Tag::kMembership, enc.take());
 }
 
-void GroupMembership::install_state(const Bytes& payload) {
+void GroupMembership::install_state(BytesView payload) {
   Decoder dec(payload);
   dec.get_byte();  // kind, already checked
   View v;
   v.id = dec.get_u64();
   v.members = dec.get_vector<ProcessId>([](Decoder& d) { return d.get_i32(); });
-  const Bytes ab_snapshot = dec.get_bytes();
+  // Snapshot sections are decoded as views straight out of the datagram;
+  // the restore calls below copy what they keep.
+  const BytesView ab_snapshot = dec.get_view();
   const bool has_gb = dec.get_bool();
-  const Bytes gb_snapshot = has_gb ? dec.get_bytes() : Bytes{};
+  const BytesView gb_snapshot = has_gb ? dec.get_view() : BytesView{};
   const Bytes app_snapshot = dec.get_bytes();
   if (!dec.ok() || !v.contains(ctx_self())) return;
   awaiting_state_ = false;

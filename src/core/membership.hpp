@@ -102,11 +102,11 @@ class GroupMembership {
 
  private:
   ProcessId ctx_self() const;
-  void on_channel_message(ProcessId from, const Bytes& payload);
+  void on_channel_message(ProcessId from, BytesView payload);
   void on_view_change(const MsgId& id, const Bytes& payload);
   void install_view(View v);
   void send_state(ProcessId joiner);
-  void install_state(const Bytes& payload);
+  void install_state(BytesView payload);
 
   sim::Context& ctx_;
   ReliableChannel& channel_;

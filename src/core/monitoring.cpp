@@ -20,7 +20,7 @@ Monitoring::Monitoring(sim::Context& ctx, ReliableChannel& channel, FailureDetec
   fd_.on_suspect(fd_class_, [this](ProcessId q) { on_long_suspect(q); });
   fd_.on_restore(fd_class_, [this](ProcessId q) { on_long_restore(q); });
   channel_.subscribe(Tag::kMonitoring,
-                     [this](ProcessId from, const Bytes& b) { on_gossip(from, b); });
+                     [this](ProcessId from, BytesView b) { on_gossip(from, b); });
   membership_.on_view([this](const View& v) { on_view(v); });
 }
 
@@ -54,7 +54,7 @@ void Monitoring::on_long_suspect(ProcessId q) {
     Encoder enc;
     enc.put_byte(kSuspect);
     enc.put_i32(q);
-    channel_.send_group(membership_.view().members, Tag::kMonitoring, enc.bytes());
+    channel_.send_group(membership_.view().members, Tag::kMonitoring, enc.take());
   }
 }
 
@@ -64,11 +64,11 @@ void Monitoring::on_long_restore(ProcessId q) {
     Encoder enc;
     enc.put_byte(kRestore);
     enc.put_i32(q);
-    channel_.send_group(membership_.view().members, Tag::kMonitoring, enc.bytes());
+    channel_.send_group(membership_.view().members, Tag::kMonitoring, enc.take());
   }
 }
 
-void Monitoring::on_gossip(ProcessId from, const Bytes& payload) {
+void Monitoring::on_gossip(ProcessId from, BytesView payload) {
   Decoder dec(payload);
   const std::uint8_t kind = dec.get_byte();
   const ProcessId q = dec.get_i32();

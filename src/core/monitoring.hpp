@@ -69,7 +69,7 @@ class Monitoring {
  private:
   void on_long_suspect(ProcessId q);
   void on_long_restore(ProcessId q);
-  void on_gossip(ProcessId from, const Bytes& payload);
+  void on_gossip(ProcessId from, BytesView payload);
   void on_view(const View& v);
   void add_vote(ProcessId voter, ProcessId q);
   void drop_vote(ProcessId voter, ProcessId q);

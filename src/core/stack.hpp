@@ -57,9 +57,14 @@ struct StackConfig {
   /// Conflict relation for generic broadcast; default is the paper's §3.3
   /// rbcast/abcast table.
   ConflictRelation conflict = ConflictRelation::rbcast_abcast();
-  /// Stability gossip period for the atomic-broadcast substrate; bounds
-  /// dedup memory on long runs (0 = disabled; fine for bounded runs).
+  /// Stability gossip period for the broadcast substrates; bounds dedup
+  /// memory on long runs (0 = disabled; fine for bounded runs).
   Duration stability_interval = 0;
+  /// Proposal/report wire format for the ordering layers (DESIGN.md §12).
+  /// kSlim keeps payloads out of consensus and GB resolution; kLegacy is
+  /// the payload-inline baseline the benchmarks compare against. Applied
+  /// to both AtomicBroadcast and GenericBroadcast.
+  WireFormat wire_format = WireFormat::kSlim;
   /// Flight recorder for message-lifecycle tracing; null (the default)
   /// leaves tracing a branch-predictable no-op. Usually shared by every
   /// stack of one simulation so the trace interleaves all processes.

@@ -13,7 +13,7 @@ FailureDetector::FailureDetector(sim::Context& ctx, Transport& transport, Config
       last_heard_(static_cast<std::size_t>(transport.universe_size()), 0),
       arrivals_(static_cast<std::size_t>(transport.universe_size())) {
   transport_.subscribe(Tag::kFd,
-                       [this](ProcessId from, const Bytes&) { on_heartbeat(from); });
+                       [this](ProcessId from, BytesView) { on_heartbeat(from); });
 }
 
 void FailureDetector::start() {

@@ -79,7 +79,7 @@ std::optional<Bytes> CachingStateMachine::cached(ProcessId client,
 
 ActiveService::ActiveService(GcsStack& stack, std::unique_ptr<StateMachine> sm)
     : stack_(stack), machine_(std::move(sm)) {
-  stack_.channel().subscribe(Tag::kApp, [this](ProcessId client, const Bytes& b) {
+  stack_.channel().subscribe(Tag::kApp, [this](ProcessId client, BytesView b) {
     on_request(client, b);
   });
   stack_.on_adeliver([this](const MsgId&, const Bytes& wrapped) { on_adeliver(wrapped); });
@@ -88,7 +88,7 @@ ActiveService::ActiveService(GcsStack& stack, std::unique_ptr<StateMachine> sm)
       [this](const Bytes& snapshot) { machine_.restore(snapshot); });
 }
 
-void ActiveService::on_request(ProcessId client, const Bytes& payload) {
+void ActiveService::on_request(ProcessId client, BytesView payload) {
   Decoder dec(payload);
   if (dec.get_byte() != kRequest) return;
   const std::uint64_t request_id = dec.get_u64();
@@ -134,7 +134,7 @@ PassiveService::PassiveService(GcsStack& stack, std::unique_ptr<StateMachine> sm
   auto caching = std::make_unique<CachingStateMachine>(std::move(sm));
   machine_ = caching.get();
   passive_ = std::make_unique<PassiveReplication>(stack, std::move(caching), config);
-  stack_.channel().subscribe(Tag::kApp, [this](ProcessId client, const Bytes& b) {
+  stack_.channel().subscribe(Tag::kApp, [this](ProcessId client, BytesView b) {
     on_request(client, b);
   });
 }
@@ -142,7 +142,7 @@ PassiveService::PassiveService(GcsStack& stack, std::unique_ptr<StateMachine> sm
 StateMachine& PassiveService::state() { return machine_->inner(); }
 CachingStateMachine& PassiveService::caching_machine() { return *machine_; }
 
-void PassiveService::on_request(ProcessId client, const Bytes& payload) {
+void PassiveService::on_request(ProcessId client, BytesView payload) {
   Decoder dec(payload);
   if (dec.get_byte() != kRequest) return;
   const std::uint64_t request_id = dec.get_u64();
@@ -205,7 +205,7 @@ Client::Client(sim::Context& ctx, sim::Network& network, std::vector<ProcessId> 
     : ctx_(ctx), transport_(ctx, network), channel_(ctx, transport_),
       replicas_(std::move(replicas)), config_(config) {
   channel_.subscribe(Tag::kApp,
-                     [this](ProcessId from, const Bytes& b) { on_message(from, b); });
+                     [this](ProcessId from, BytesView b) { on_message(from, b); });
 }
 
 void Client::submit(Bytes command, DoneFn done) {
@@ -245,7 +245,7 @@ void Client::attempt(std::uint64_t request_id) {
   });
 }
 
-void Client::on_message(ProcessId /*from*/, const Bytes& payload) {
+void Client::on_message(ProcessId /*from*/, BytesView payload) {
   Decoder dec(payload);
   const std::uint8_t kind = dec.get_byte();
   const std::uint64_t request_id = dec.get_u64();

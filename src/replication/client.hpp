@@ -74,7 +74,7 @@ class ActiveService {
   std::uint64_t applied() const { return applied_; }
 
  private:
-  void on_request(ProcessId client, const Bytes& payload);
+  void on_request(ProcessId client, BytesView payload);
   void on_adeliver(const Bytes& wrapped);
   void reply(ProcessId client, std::uint64_t request_id, const Bytes& result);
 
@@ -98,7 +98,7 @@ class PassiveService {
   CachingStateMachine& caching_machine();
 
  private:
-  void on_request(ProcessId client, const Bytes& payload);
+  void on_request(ProcessId client, BytesView payload);
   void reply(ProcessId client, std::uint64_t request_id, bool ok, const Bytes& result);
   void redirect(ProcessId client, std::uint64_t request_id);
 
@@ -142,7 +142,7 @@ class Client {
   };
 
   void attempt(std::uint64_t request_id);
-  void on_message(ProcessId from, const Bytes& payload);
+  void on_message(ProcessId from, BytesView payload);
 
   sim::Context& ctx_;
   SimTransport transport_;

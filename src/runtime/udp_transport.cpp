@@ -78,8 +78,8 @@ int UdpTransport::poll() {
     if (from < 0 || from >= universe_size_) continue;
     const auto tag_idx = static_cast<std::size_t>(buf[0]);
     if (tag_idx >= handlers_.size() || !handlers_[tag_idx]) continue;
-    const Bytes payload(buf + 1, buf + n);
-    handlers_[tag_idx](from, payload);
+    // View straight into the receive buffer; handlers copy what they keep.
+    handlers_[tag_idx](from, BytesView(buf + 1, static_cast<std::size_t>(n) - 1));
     ++processed;
   }
   return processed;

@@ -13,6 +13,7 @@
 
 #include "obs/trace.hpp"
 #include "sim/engine.hpp"
+#include "util/buffer_pool.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
@@ -53,6 +54,9 @@ class Context {
   std::shared_ptr<const bool> alive_flag() const { return alive_; }
 
   Rng& rng() { return rng_; }
+  /// Recycling pool for outbound wire buffers (see util/buffer_pool.hpp);
+  /// per-process, so buffer reuse never crosses a process boundary.
+  BufferPool& pool() { return pool_; }
   const Logger& log() const { return log_; }
   Metrics& metrics() { return *metrics_; }
   std::shared_ptr<Metrics> metrics_ptr() { return metrics_; }
@@ -83,6 +87,7 @@ class Context {
   std::shared_ptr<Metrics> metrics_;
   std::shared_ptr<bool> alive_;
   obs::Tracer tracer_;
+  BufferPool pool_;
 };
 
 }  // namespace gcs::sim

@@ -57,8 +57,8 @@ GmVsStack::GmVsStack(sim::Engine& engine, sim::Network& network, ProcessId self,
   consensus_->on_decide(
       [this](std::uint64_t k, const Bytes& v) { on_flush_decision(k, v); });
   channel_->subscribe(Tag::kVs,
-                      [this](ProcessId from, const Bytes& b) { on_vs_message(from, b); });
-  channel_->subscribe(Tag::kMembership, [this](ProcessId from, const Bytes& b) {
+                      [this](ProcessId from, BytesView b) { on_vs_message(from, b); });
+  channel_->subscribe(Tag::kMembership, [this](ProcessId from, BytesView b) {
     on_membership_message(from, b);
   });
   if (config.ordering == Ordering::kSequencer) {
@@ -66,7 +66,7 @@ GmVsStack::GmVsStack(sim::Engine& engine, sim::Network& network, ProcessId self,
   } else {
     orderer_ = std::make_unique<TokenOrderer>(*this, config.token_hold);
   }
-  channel_->subscribe(orderer_->tag(), [this](ProcessId from, const Bytes& b) {
+  channel_->subscribe(orderer_->tag(), [this](ProcessId from, BytesView b) {
     if (!excluded_) orderer_->handle(from, b);
   });
 }
@@ -139,7 +139,7 @@ void GmVsStack::vs_emit_ordered(std::uint64_t seq, const MsgId& id, const Bytes&
   ctx_->metrics().inc("gmvs.ordered_emitted");
 }
 
-void GmVsStack::on_vs_message(ProcessId /*from*/, const Bytes& payload) {
+void GmVsStack::on_vs_message(ProcessId /*from*/, BytesView payload) {
   if (excluded_) return;
   Decoder dec(payload);
   const std::uint8_t kind = dec.get_byte();
@@ -219,7 +219,7 @@ void GmVsStack::trigger_view_change(std::vector<ProcessId> proposal) {
   maybe_propose_flush();
 }
 
-void GmVsStack::on_membership_message(ProcessId from, const Bytes& payload) {
+void GmVsStack::on_membership_message(ProcessId from, BytesView payload) {
   Decoder dec(payload);
   const std::uint8_t kind = dec.get_byte();
   switch (kind) {

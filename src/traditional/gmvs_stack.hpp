@@ -52,7 +52,7 @@ class Orderer {
   /// global sequence number in the new view.
   virtual void on_view(const View& view) = 0;
   /// Orderer-specific peer messages (forward-to-sequencer, token passing).
-  virtual void handle(ProcessId from, const Bytes& payload) = 0;
+  virtual void handle(ProcessId from, BytesView payload) = 0;
   /// An ORDERED message was delivered; the orderer clears its pending state.
   virtual void on_ordered_delivered(const MsgId& id) = 0;
   /// Wire tag this orderer listens on.
@@ -134,12 +134,12 @@ class GmVsStack {
   friend class TokenOrderer;
 
   // -- view synchrony ------------------------------------------------------
-  void on_vs_message(ProcessId from, const Bytes& payload);
+  void on_vs_message(ProcessId from, BytesView payload);
   void deliver_in_order();
   void deliver_one(std::uint64_t seq, const MsgId& id, const Bytes& payload);
 
   // -- membership / flush --------------------------------------------------
-  void on_membership_message(ProcessId from, const Bytes& payload);
+  void on_membership_message(ProcessId from, BytesView payload);
   void on_suspect(ProcessId q);
   void trigger_view_change(std::vector<ProcessId> proposal);
   void send_flush();

@@ -28,7 +28,7 @@ void SequencerOrderer::emit_or_forward(const MsgId& id, const Bytes& payload) {
   }
 }
 
-void SequencerOrderer::handle(ProcessId /*from*/, const Bytes& payload) {
+void SequencerOrderer::handle(ProcessId /*from*/, BytesView payload) {
   if (!is_sequencer() || stack_.is_blocked()) return;  // stale forward: origin re-drives
   Decoder dec(payload);
   const MsgId id = dec.get_msgid();

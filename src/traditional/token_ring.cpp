@@ -12,7 +12,7 @@ void TokenOrderer::submit(const MsgId& id, Bytes payload) {
   // still inside the hold window — simply wait for the scheduled release).
 }
 
-void TokenOrderer::handle(ProcessId /*from*/, const Bytes& payload) {
+void TokenOrderer::handle(ProcessId /*from*/, BytesView payload) {
   Decoder dec(payload);
   const std::uint64_t view_id = dec.get_u64();
   const std::uint64_t next_seq = dec.get_u64();

@@ -24,7 +24,7 @@ class TokenOrderer final : public Orderer {
 
   void submit(const MsgId& id, Bytes payload) override;
   void on_view(const View& view) override;
-  void handle(ProcessId from, const Bytes& payload) override;
+  void handle(ProcessId from, BytesView payload) override;
   void on_ordered_delivered(const MsgId& id) override;
   Tag tag() const override { return Tag::kToken; }
 

@@ -19,18 +19,26 @@ class SimTransport final : public Transport {
   int universe_size() const override { return network_.size(); }
   void u_send(ProcessId to, Tag tag, const Bytes& payload) override;
   /// Builds the tagged datagram once and multicasts the shared buffer:
-  /// group fan-out costs one allocation total instead of one copy per
+  /// group fan-out costs one pooled buffer total instead of one copy per
   /// destination.
   void u_send_group(const std::vector<ProcessId>& group, Tag tag,
                     const Bytes& payload) override;
   void subscribe(Tag tag, Handler handler) override;
 
  private:
+  Payload make_datagram(Tag tag, const Bytes& payload);
   void dispatch(ProcessId from, const Bytes& datagram);
+  void account(Tag tag, std::size_t payload_bytes, std::size_t copies);
 
+  sim::Context& ctx_;
   ProcessId self_;
   sim::Network& network_;
   std::array<Handler, static_cast<std::size_t>(Tag::kMax)> handlers_;
+  // Per-tag bytes/datagrams put on the wire by this process
+  // ("<tag>.wire_bytes" / "<tag>.wire_msgs"); counts what leaves the
+  // transport, so datagram framing (the tag byte) is included.
+  std::array<MetricId, static_cast<std::size_t>(Tag::kMax)> m_wire_bytes_;
+  std::array<MetricId, static_cast<std::size_t>(Tag::kMax)> m_wire_msgs_;
 };
 
 }  // namespace gcs

@@ -34,11 +34,35 @@ enum class Tag : std::uint8_t {
   kMax = 15,
 };
 
+/// Stable lowercase name for a tag, used to build per-component metric
+/// names ("consensus.wire_bytes" etc.).
+constexpr const char* tag_name(Tag tag) {
+  switch (tag) {
+    case Tag::kChannel: return "channel";
+    case Tag::kFd: return "fd";
+    case Tag::kConsensus: return "consensus";
+    case Tag::kRbcast: return "rbcast";
+    case Tag::kAbcast: return "abcast";
+    case Tag::kGbcast: return "gbcast";
+    case Tag::kMembership: return "membership";
+    case Tag::kMonitoring: return "monitoring";
+    case Tag::kVs: return "vs";
+    case Tag::kSeqOrder: return "seq";
+    case Tag::kToken: return "token";
+    case Tag::kGbData: return "gbdata";
+    case Tag::kApp: return "app";
+    case Tag::kCbcast: return "cbcast";
+    default: return "tag";
+  }
+}
+
 /// Abstract unreliable transport. The simulator provides SimTransport; a
 /// real deployment would provide a UDP-backed implementation.
 class Transport {
  public:
-  using Handler = std::function<void(ProcessId from, const Bytes& payload)>;
+  /// Receives a view into the datagram buffer; valid only for the duration
+  /// of the call (copy via to_bytes() to keep).
+  using Handler = std::function<void(ProcessId from, BytesView payload)>;
 
   virtual ~Transport() = default;
 

@@ -1,0 +1,54 @@
+/// \file buffer_pool.hpp
+/// Recycling pool of shared byte buffers for the zero-copy wire path.
+///
+/// Wire sends hand a `Payload` (shared_ptr<const Bytes>) to the network,
+/// which holds it until the last in-flight delivery runs. Allocating a
+/// fresh control block + vector per datagram dominated the send-side
+/// allocation profile; the pool instead keeps every buffer it ever handed
+/// out and re-issues one as soon as all outstanding references drop
+/// (use_count() == 1 means only the pool holds it). Buffers keep their
+/// capacity across reuse, so after warm-up steady-state sends allocate
+/// nothing.
+///
+/// Lifetime rules:
+///   - acquire() returns a cleared, mutable buffer; fill it, then convert
+///     to Payload (shared_ptr<const Bytes>) and send. Never mutate after
+///     converting — readers hold views into it.
+///   - The buffer returns to circulation automatically when the last
+///     Payload copy dies; there is no release() call to forget.
+///   - Single-threaded by design (one pool per simulated World / Context).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace gcs {
+
+class BufferPool {
+ public:
+  /// A cleared buffer, capacity preserved from earlier use when recycled.
+  std::shared_ptr<Bytes> acquire() {
+    const std::size_t n = entries_.size();
+    for (std::size_t step = 0; step < n; ++step) {
+      auto& slot = entries_[cursor_];
+      cursor_ = (cursor_ + 1) % n;
+      if (slot.use_count() == 1) {
+        slot->clear();
+        return slot;
+      }
+    }
+    entries_.push_back(std::make_shared<Bytes>());
+    return entries_.back();
+  }
+
+  /// Buffers ever created (pool high-water mark).
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<std::shared_ptr<Bytes>> entries_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace gcs

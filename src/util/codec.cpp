@@ -4,10 +4,10 @@ namespace gcs {
 
 void Encoder::put_u64(std::uint64_t v) {
   while (v >= 0x80) {
-    buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    out_->push_back(static_cast<std::uint8_t>(v) | 0x80);
     v >>= 7;
   }
-  buf_.push_back(static_cast<std::uint8_t>(v));
+  out_->push_back(static_cast<std::uint8_t>(v));
 }
 
 void Encoder::put_i64(std::int64_t v) {
@@ -18,12 +18,12 @@ void Encoder::put_i64(std::int64_t v) {
 
 void Encoder::put_string(std::string_view s) {
   put_u64(s.size());
-  buf_.insert(buf_.end(), s.begin(), s.end());
+  out_->insert(out_->end(), s.begin(), s.end());
 }
 
-void Encoder::put_bytes(const Bytes& b) {
+void Encoder::put_bytes(BytesView b) {
   put_u64(b.size());
-  buf_.insert(buf_.end(), b.begin(), b.end());
+  out_->insert(out_->end(), b.begin(), b.end());
 }
 
 std::uint64_t Decoder::get_u64() {
@@ -74,6 +74,17 @@ Bytes Decoder::get_bytes() {
   Bytes b(data_ + pos_, data_ + pos_ + n);
   pos_ += static_cast<std::size_t>(n);
   return b;
+}
+
+BytesView Decoder::get_view() {
+  const std::uint64_t n = get_u64();
+  if (n > remaining()) {
+    fail();
+    return {};
+  }
+  BytesView v(data_ + pos_, static_cast<std::size_t>(n));
+  pos_ += static_cast<std::size_t>(n);
+  return v;
 }
 
 }  // namespace gcs

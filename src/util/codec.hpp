@@ -19,9 +19,17 @@
 namespace gcs {
 
 /// Append-only binary encoder.
+///
+/// By default the encoder owns its output buffer (`take()` moves it out).
+/// Constructed over an external sink, it appends to that buffer instead —
+/// the sink is typically a pooled or scratch Bytes reused across messages,
+/// so steady-state encoding allocates nothing once the buffer has grown to
+/// its working size. External-sink encoders must not call take().
 class Encoder {
  public:
   Encoder() = default;
+  /// Append into \p sink (not cleared; caller controls reuse/lifetime).
+  explicit Encoder(Bytes& sink) : out_(&sink) {}
 
   /// Unsigned varint (LEB128).
   void put_u64(std::uint64_t v);
@@ -30,12 +38,12 @@ class Encoder {
   void put_u32(std::uint32_t v) { put_u64(v); }
   void put_i32(std::int32_t v) { put_i64(v); }
   void put_bool(bool v) { put_u64(v ? 1 : 0); }
-  void put_byte(std::uint8_t v) { buf_.push_back(v); }
+  void put_byte(std::uint8_t v) { out_->push_back(v); }
 
   /// Length-prefixed string.
   void put_string(std::string_view s);
   /// Length-prefixed byte blob.
-  void put_bytes(const Bytes& b);
+  void put_bytes(BytesView b);
 
   void put_msgid(const MsgId& id) {
     put_i32(id.sender);
@@ -49,13 +57,14 @@ class Encoder {
     for (const auto& e : v) encode_elem(*this, e);
   }
 
-  /// Take ownership of the encoded bytes.
-  Bytes take() { return std::move(buf_); }
-  const Bytes& bytes() const { return buf_; }
-  std::size_t size() const { return buf_.size(); }
+  /// Take ownership of the encoded bytes (internal-buffer mode only).
+  Bytes take() { return std::move(own_); }
+  const Bytes& bytes() const { return *out_; }
+  std::size_t size() const { return out_->size(); }
 
  private:
-  Bytes buf_;
+  Bytes own_;
+  Bytes* out_ = &own_;
 };
 
 /// Bounds-checked binary decoder over a byte span.
@@ -65,6 +74,7 @@ class Encoder {
 class Decoder {
  public:
   explicit Decoder(const Bytes& buf) : data_(buf.data()), size_(buf.size()) {}
+  explicit Decoder(BytesView view) : data_(view.data()), size_(view.size()) {}
   Decoder(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
 
   std::uint64_t get_u64();
@@ -76,6 +86,12 @@ class Decoder {
 
   std::string get_string();
   Bytes get_bytes();
+  /// Length-prefixed blob as a bounds-checked view into the decoder's
+  /// underlying buffer — no copy. The view is valid only while that buffer
+  /// is; callers that store it must materialize with to_bytes() first
+  /// (views handed onward from a datagram die when the handler returns).
+  /// On truncation, fails and returns an empty view.
+  BytesView get_view();
 
   MsgId get_msgid() {
     MsgId id;
@@ -102,6 +118,11 @@ class Decoder {
   bool ok() const { return !failed_; }
   bool at_end() const { return pos_ == size_; }
   std::size_t remaining() const { return size_ - pos_; }
+
+  /// Mark the input malformed. For semantic validation above the codec
+  /// layer (unknown enum tag, hostile count) so callers keep the single
+  /// check-ok()-once-at-the-end discipline.
+  void invalidate() { fail(); }
 
  private:
   void fail() { failed_ = true; }

@@ -6,6 +6,7 @@
 #include <compare>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,18 @@ inline constexpr ProcessId kNoProcess = -1;
 
 /// Raw payload bytes as they travel through the stack.
 using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning, read-only view over wire bytes.
+///
+/// Handlers receive views into the datagram (or holdback/pooled) buffer that
+/// is alive for the duration of the call only. A handler that needs the
+/// bytes past its own return must copy (`to_bytes`) or decode into owned
+/// storage; storing the view itself is a use-after-free.
+using BytesView = std::span<const std::uint8_t>;
+
+/// Materialize an owned copy of a view (the only sanctioned way to keep
+/// wire bytes beyond the delivering call).
+inline Bytes to_bytes(BytesView v) { return Bytes(v.begin(), v.end()); }
 
 /// Immutable, reference-counted payload buffer.
 ///

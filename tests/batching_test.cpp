@@ -30,7 +30,7 @@ struct BatchWorld {
 
   explicit BatchWorld(ReliableChannel::Config cfg, sim::LinkModel link = {})
       : network(engine, 2, link, 1), ch0(c0, t0, cfg), ch1(c1, t1, cfg) {
-    ch1.subscribe(Tag::kApp, [this](ProcessId, const Bytes& b) {
+    ch1.subscribe(Tag::kApp, [this](ProcessId, BytesView b) {
       received.push_back(str_of(b));
     });
   }

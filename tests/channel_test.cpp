@@ -36,7 +36,7 @@ struct ChannelWorld {
                                                 Logger(), std::make_shared<Metrics>());
       proc.transport = std::make_unique<SimTransport>(*proc.ctx, network);
       proc.channel = std::make_unique<ReliableChannel>(*proc.ctx, *proc.transport, cfg);
-      proc.channel->subscribe(Tag::kApp, [&proc](ProcessId from, const Bytes& b) {
+      proc.channel->subscribe(Tag::kApp, [&proc](ProcessId from, BytesView b) {
         proc.received.emplace_back(from, str_of(b));
       });
     }
@@ -111,7 +111,7 @@ TEST(ReliableChannel, BidirectionalTraffic) {
 TEST(ReliableChannel, TagMultiplexing) {
   ChannelWorld w(2, sim::LinkModel{});
   std::vector<std::string> fd_msgs;
-  w.procs[1].channel->subscribe(Tag::kConsensus, [&](ProcessId, const Bytes& b) {
+  w.procs[1].channel->subscribe(Tag::kConsensus, [&](ProcessId, BytesView b) {
     fd_msgs.push_back(str_of(b));
   });
   w.procs[0].channel->send(1, Tag::kApp, bytes_of("app"));

@@ -62,7 +62,7 @@ TEST(RealTime, UdpTransportDelivers) {
   cfg.base_port = 39100;
   UdpTransport t0(c0, 2, cfg), t1(c1, 2, cfg);
   std::vector<std::pair<ProcessId, std::string>> received;
-  t1.subscribe(Tag::kApp, [&](ProcessId from, const Bytes& b) {
+  t1.subscribe(Tag::kApp, [&](ProcessId from, BytesView b) {
     received.emplace_back(from, test::str_of(b));
   });
   t0.u_send(1, Tag::kApp, bytes_of("over the wire"));

@@ -58,6 +58,32 @@ TEST(Stability, DedupMemoryStaysBoundedOnLongRuns) {
   EXPECT_LT(w.stack(0).abcast_substrate().dedup_size(), 50u);
 }
 
+TEST(Stability, AbcastDedupGcIsPerSenderPrefix) {
+  // Regression guard for the adelivered-dedup GC: the index is per sender,
+  // so each stability event erases exactly the newly stable prefix. The
+  // work counter must therefore be bounded by (one probe per event) +
+  // (each dedup entry erased once) — the full-set scan this replaced cost
+  // events × set-size, i.e. tens of thousands of steps in this workload.
+  World w(cfg(3, msec(10), 17));
+  w.found_group_all();
+  std::size_t delivered = 0;
+  w.stack(0).on_adeliver([&](const MsgId&, const Bytes&) { ++delivered; });
+  const int kMsgs = 300;
+  for (int i = 0; i < kMsgs; ++i) {
+    w.stack(static_cast<ProcessId>(i % 3)).abcast(bytes_of(std::to_string(i)));
+    w.run_for(msec(5));
+  }
+  ASSERT_TRUE(test::run_until(w.engine(), sec(30),
+                              [&] { return delivered >= static_cast<std::size_t>(kMsgs); }));
+  w.run_for(msec(500));
+  const auto events = w.stack(0).metrics().counter("rbcast.stability_pruned");
+  const auto steps = w.stack(0).atomic_broadcast().stability_gc_steps();
+  ASSERT_GT(events, 0);
+  EXPECT_GT(steps, 0u);
+  EXPECT_LE(steps, static_cast<std::uint64_t>(events) + kMsgs + 64)
+      << "dedup GC did more work than event-probes + one-erase-per-entry";
+}
+
 TEST(Stability, NoRedeliveryAfterPruning) {
   // Total order and exactly-once must survive pruning: run traffic with
   // aggressive gossip and verify the usual invariants.

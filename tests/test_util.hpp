@@ -24,6 +24,7 @@ namespace gcs::test {
 inline Bytes bytes_of(const std::string& s) { return Bytes(s.begin(), s.end()); }
 
 inline std::string str_of(const Bytes& b) { return std::string(b.begin(), b.end()); }
+inline std::string str_of(BytesView b) { return std::string(b.begin(), b.end()); }
 
 /// Run the engine until \p predicate holds or \p budget of virtual time has
 /// elapsed. Returns true iff the predicate held. The predicate is checked

@@ -44,7 +44,7 @@ struct RbWorld {
       proc.rbcast->unsafe_set_non_uniform(non_uniform);
       proc.rbcast->set_group(all);
       proc.rbcast->on_deliver(
-          [&proc](const MsgId& id, const Bytes&) { proc.delivered.push_back(id); });
+          [&proc](const MsgId& id, BytesView) { proc.delivered.push_back(id); });
     }
   }
 
